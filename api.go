@@ -1,0 +1,323 @@
+// Package repro is the public facade of this reproduction of Pifarré,
+// Gravano, Felperin and Sanz, "Fully-Adaptive Minimal Deadlock-Free Packet
+// Routing in Hypercubes, Meshes, and Other Networks" (SPAA 1991).
+//
+// It re-exports the pieces a user composes:
+//
+//   - routing algorithms (NewAlgorithm or the core constructors),
+//   - traffic patterns and injection models (NewPattern, NewStaticTraffic,
+//     NewDynamicTraffic),
+//   - the two simulators (NewEngine for the cycle-accurate buffered node
+//     model of the paper's Sections 6-7, NewAtomicEngine for the abstract
+//     queue-to-queue model of Section 2),
+//   - the queue-dependency-graph verifier (VerifyDeadlockFree, WriteQDG),
+//   - the experiment harness that regenerates the paper's Tables 1-12
+//     (Tables, FindTable).
+//
+// See examples/quickstart for a complete end-to-end program.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/qdg"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Re-exported core types.
+type (
+	// Algorithm is a routing function over per-node queues (Section 2).
+	Algorithm = core.Algorithm
+	// Packet is a message in flight.
+	Packet = core.Packet
+	// Move is a candidate next placement for a packet.
+	Move = core.Move
+	// Props describes an algorithm's static properties.
+	Props = core.Props
+	// Config configures a simulator.
+	Config = sim.Config
+	// Metrics aggregates a run's observables (L_avg, L_max, I_r, ...).
+	Metrics = sim.Metrics
+	// Engine is the buffered cycle-accurate simulator (Sections 6-7).
+	Engine = sim.Engine
+	// AtomicEngine is the abstract queue-to-queue simulator (Section 2).
+	AtomicEngine = sim.AtomicEngine
+	// TrafficSource drives packet injection.
+	TrafficSource = sim.TrafficSource
+	// Pattern maps sources to destinations.
+	Pattern = traffic.Pattern
+	// Policy selects among admissible candidate moves.
+	Policy = sim.Policy
+	// ErrDeadlock reports a watchdog-detected deadlock.
+	ErrDeadlock = sim.ErrDeadlock
+	// QueueSnapshot reports one central queue's instantaneous occupancy
+	// (see Engine.Snapshot and Config.OnCycle).
+	QueueSnapshot = sim.QueueSnapshot
+)
+
+// Selection policies.
+const (
+	PolicyFirstFree   = sim.PolicyFirstFree
+	PolicyRandom      = sim.PolicyRandom
+	PolicyStaticFirst = sim.PolicyStaticFirst
+	PolicyLastFree    = sim.PolicyLastFree
+)
+
+// LatencyCollector accumulates per-delivery latency statistics (mean,
+// percentiles, histograms). Assign its OnDeliver method to Config.OnDeliver.
+type LatencyCollector = stats.Collector
+
+// NewLatencyCollector returns an empty latency collector.
+func NewLatencyCollector() *LatencyCollector { return stats.NewCollector() }
+
+// NewEngine returns the buffered cycle-accurate simulator for cfg.
+func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
+
+// NewAtomicEngine returns the abstract queue-to-queue simulator for cfg.
+func NewAtomicEngine(cfg Config) (*AtomicEngine, error) { return sim.NewAtomicEngine(cfg) }
+
+// AlgorithmNames lists the specs accepted by NewAlgorithm.
+func AlgorithmNames() []string {
+	return []string{
+		"hypercube-adaptive:<dims>",
+		"hypercube-hung:<dims>",
+		"hypercube-ecube:<dims>",
+		"mesh-adaptive:<side>x<side>[x...]",
+		"mesh-twophase:<side>x<side>[x...]",
+		"mesh-xy:<side>x<side>[x...]",
+		"shuffle-adaptive:<dims>",
+		"shuffle-static:<dims>",
+		"shuffle-eager:<dims>",
+		"ccc-adaptive:<dims>",
+		"ccc-static:<dims>",
+		"torus-adaptive:<side>x<side>[x...]",
+	}
+}
+
+// NewAlgorithm builds an algorithm from a textual spec such as
+// "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8".
+func NewAlgorithm(spec string) (Algorithm, error) {
+	name, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("repro: algorithm spec %q needs a size, e.g. %q", spec, "hypercube-adaptive:10")
+	}
+	dims := func() (int, error) { return strconv.Atoi(arg) }
+	shape := func() ([]int, error) {
+		parts := strings.Split(arg, "x")
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("repro: bad shape %q in %q", arg, spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case "hypercube-adaptive":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeAdaptive(d), nil
+	case "hypercube-hung":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeHung(d), nil
+	case "hypercube-ecube":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeECube(d), nil
+	case "mesh-adaptive":
+		s, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshAdaptive(s...), nil
+	case "mesh-twophase":
+		s, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshTwoPhase(s...), nil
+	case "mesh-xy":
+		s, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshXY(s...), nil
+	case "shuffle-adaptive":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeAdaptive(d), nil
+	case "shuffle-static":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeStatic(d), nil
+	case "shuffle-eager":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeEager(d), nil
+	case "ccc-adaptive":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCCCAdaptive(d), nil
+	case "ccc-static":
+		d, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCCCStatic(d), nil
+	case "torus-adaptive":
+		s, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTorusAdaptive(s...), nil
+	}
+	return nil, fmt.Errorf("repro: unknown algorithm %q (known: %s)", name, strings.Join(AlgorithmNames(), ", "))
+}
+
+// NewPattern builds a traffic pattern from a textual spec for an algorithm's
+// topology: "random", "complement", "transpose", "leveled", "bit-reversal",
+// "mesh-transpose" and "hotspot:<fraction>". Hypercube-address patterns
+// (complement, transpose, leveled, bit-reversal) require a power-of-two node
+// count; mesh-transpose requires a square 2-dimensional mesh or torus.
+func NewPattern(spec string, a Algorithm, seed int64) (Pattern, error) {
+	topo := a.Topology()
+	nodes := topo.Nodes()
+	bits := func() (int, error) {
+		b := 0
+		for 1<<b < nodes {
+			b++
+		}
+		if 1<<b != nodes {
+			return 0, fmt.Errorf("repro: pattern %q needs a power-of-two node count, have %d", spec, nodes)
+		}
+		return b, nil
+	}
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "random":
+		return traffic.Random{Nodes: nodes}, nil
+	case "complement":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Complement{Bits: b}, nil
+	case "transpose":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Transpose{Bits: b}, nil
+	case "leveled":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewLeveled(b, seed), nil
+	case "bit-reversal":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.BitReversal{Bits: b}, nil
+	case "mesh-transpose":
+		side := 0
+		switch t := topo.(type) {
+		case *topology.Mesh:
+			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
+				side = t.Shape()[0]
+			}
+		case *topology.Torus:
+			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
+				side = t.Shape()[0]
+			}
+		}
+		if side == 0 {
+			return nil, fmt.Errorf("repro: mesh-transpose needs a square 2-dimensional mesh or torus, have %s", topo.Name())
+		}
+		return traffic.MeshTranspose{Side: side}, nil
+	case "hotspot":
+		frac := 0.2
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("repro: bad hotspot fraction %q", arg)
+			}
+			frac = v
+		}
+		return traffic.Hotspot{Nodes: nodes, Hot: int32(nodes / 2), Fraction: frac}, nil
+	}
+	return nil, fmt.Errorf("repro: unknown pattern %q", spec)
+}
+
+// NewStaticTraffic returns the paper's static injection model: perNode
+// packets at every node, destined per the pattern.
+func NewStaticTraffic(p Pattern, a Algorithm, perNode int, seed int64) TrafficSource {
+	return traffic.NewStaticSource(p, a.Topology().Nodes(), perNode, seed)
+}
+
+// NewDynamicTraffic returns the paper's dynamic injection model: every cycle
+// each node attempts to inject with probability lambda.
+func NewDynamicTraffic(p Pattern, a Algorithm, lambda float64, seed int64) TrafficSource {
+	return traffic.NewBernoulliSource(p, a.Topology().Nodes(), lambda, seed)
+}
+
+// VerifyDeadlockFree builds the algorithm's queue dependency graph by
+// exhaustive exploration and certifies the paper's deadlock-freedom
+// conditions: the static edges form a DAG (up to certified bubble rings)
+// and every dynamic link retains a static escape. Exploration is
+// exhaustive, so use small instances (hundreds of nodes).
+func VerifyDeadlockFree(a Algorithm) error {
+	g, err := qdg.Build(a)
+	if err != nil {
+		return err
+	}
+	return g.Verify()
+}
+
+// DescribeNode renders the functional router design of Section 6 for one
+// node of the algorithm's network — the buffers each physical link needs,
+// as drawn in the paper's Figures 4-6. Like VerifyDeadlockFree it explores
+// the algorithm exhaustively, so use small instances.
+func DescribeNode(a Algorithm, node int) (string, error) {
+	d, err := qdg.DescribeNode(a, int32(node))
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
+}
+
+// WriteQDG writes the algorithm's queue dependency graph in Graphviz DOT
+// format (static edges solid, dynamic dashed, bubble-guarded dotted) —
+// the rendering of the paper's Figures 1-3.
+func WriteQDG(w io.Writer, a Algorithm) error {
+	g, err := qdg.Build(a)
+	if err != nil {
+		return err
+	}
+	return g.WriteDOT(w)
+}

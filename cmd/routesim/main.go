@@ -1,0 +1,211 @@
+// Command routesim runs a single packet-routing simulation with full control
+// over the algorithm, traffic and node parameters, and prints the measured
+// metrics. It is the general-purpose driver behind the paper's experiments.
+//
+// Examples:
+//
+//	routesim -algo hypercube-adaptive:10 -pattern random -inject dynamic -lambda 1
+//	routesim -algo mesh-adaptive:16x16 -pattern mesh-transpose -inject static -packets 8
+//	routesim -algo shuffle-adaptive:10 -pattern random -inject static -packets 4 -engine atomic
+//	routesim -algo torus-adaptive:8x8 -pattern random -inject dynamic -lambda 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		algoSpec = flag.String("algo", "hypercube-adaptive:8", "algorithm spec, e.g. hypercube-adaptive:10, mesh-adaptive:16x16 (see -list)")
+		list     = flag.Bool("list", false, "list known algorithm specs and exit")
+		pattern  = flag.String("pattern", "random", "traffic pattern: random|complement|transpose|leveled|bit-reversal|mesh-transpose|hotspot:<frac>")
+		inject   = flag.String("inject", "static", "injection model: static|dynamic")
+		packets  = flag.Int("packets", 1, "static model: packets per node")
+		lambda   = flag.Float64("lambda", 1.0, "dynamic model: per-cycle injection probability")
+		warmup   = flag.Int64("warmup", 500, "dynamic model: warmup cycles")
+		measure  = flag.Int64("measure", 1500, "dynamic model: measured cycles")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		cap_     = flag.Int("cap", 5, "central queue capacity")
+		policy   = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+		engine   = flag.String("engine", "buffered", "engine: buffered (Sections 6-7 node model) | atomic (Section 2 model) | wormhole (flit-level, use a wh-* algo)")
+		flits    = flag.Int("flits", 8, "wormhole engine: flits per worm")
+		vcbuf    = flag.Int("vcbuf", 2, "wormhole engine: flit buffer per virtual channel")
+		workers  = flag.Int("workers", 1, "parallel workers for the buffered engine")
+		verify   = flag.Bool("verify", false, "verify deadlock freedom via the QDG checker first (small networks only)")
+		hist     = flag.Bool("hist", false, "print a latency histogram and percentiles")
+		vct      = flag.Bool("vct", false, "virtual cut-through switching [KK79] instead of store-and-forward")
+		maxCyc   = flag.Int64("maxcycles", 10_000_000, "static model: abort after this many cycles")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("packet algorithm specs:")
+		for _, s := range repro.AlgorithmNames() {
+			fmt.Println("  " + s)
+		}
+		fmt.Println("wormhole route specs (flit-level engine):")
+		for _, s := range repro.WormholeRouteNames() {
+			fmt.Println("  " + s)
+		}
+		return
+	}
+
+	if *engine == "wormhole" || strings.HasPrefix(*algoSpec, "wh-") {
+		runWormhole(*algoSpec, *pattern, *inject, *packets, *lambda, *warmup, *measure, *seed, *flits, *vcbuf, *verify, *maxCyc)
+		return
+	}
+	algo, err := repro.NewAlgorithm(*algoSpec)
+	fatal(err)
+	if *verify {
+		start := time.Now()
+		fatal(repro.VerifyDeadlockFree(algo))
+		fmt.Printf("qdg: %s certified deadlock-free [%s]\n", algo.Name(), time.Since(start).Round(time.Millisecond))
+	}
+	pat, err := repro.NewPattern(*pattern, algo, *seed)
+	fatal(err)
+
+	cfg := repro.Config{
+		Algorithm: algo,
+		QueueCap:  *cap_,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	cfg.CutThrough = *vct
+	var collector *repro.LatencyCollector
+	if *hist {
+		collector = repro.NewLatencyCollector()
+		cfg.OnDeliver = collector.OnDeliver
+	}
+	switch *policy {
+	case "first-free":
+		cfg.Policy = repro.PolicyFirstFree
+	case "random":
+		cfg.Policy = repro.PolicyRandom
+	case "static-first":
+		cfg.Policy = repro.PolicyStaticFirst
+	case "last-free":
+		cfg.Policy = repro.PolicyLastFree
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	run := func(src repro.TrafficSource) (repro.Metrics, error) {
+		if *engine == "atomic" {
+			e, err := repro.NewAtomicEngine(cfg)
+			if err != nil {
+				return repro.Metrics{}, err
+			}
+			if strings.EqualFold(*inject, "dynamic") {
+				return e.RunDynamic(src, *warmup, *measure)
+			}
+			return e.RunStatic(src, *maxCyc)
+		}
+		e, err := repro.NewEngine(cfg)
+		if err != nil {
+			return repro.Metrics{}, err
+		}
+		if strings.EqualFold(*inject, "dynamic") {
+			return e.RunDynamic(src, *warmup, *measure)
+		}
+		return e.RunStatic(src, *maxCyc)
+	}
+
+	var src repro.TrafficSource
+	switch strings.ToLower(*inject) {
+	case "static":
+		src = repro.NewStaticTraffic(pat, algo, *packets, *seed+1)
+	case "dynamic":
+		src = repro.NewDynamicTraffic(pat, algo, *lambda, *seed+1)
+	default:
+		fatal(fmt.Errorf("unknown injection model %q", *inject))
+	}
+
+	start := time.Now()
+	m, err := run(src)
+	fatal(err)
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	fmt.Printf("algorithm : %s on %s (%d queues/node, %s engine, policy %s)\n",
+		algo.Name(), algo.Topology().Name(), algo.NumClasses(), *engine, cfg.Policy)
+	fmt.Printf("traffic   : %s, %s", pat.Name(), *inject)
+	if strings.EqualFold(*inject, "dynamic") {
+		fmt.Printf(" lambda=%g warmup=%d measure=%d", *lambda, *warmup, *measure)
+	} else {
+		fmt.Printf(" packets/node=%d", *packets)
+	}
+	fmt.Println()
+	fmt.Printf("cycles    : %d  [%s]\n", m.Cycles, elapsed)
+	fmt.Printf("packets   : injected=%d delivered=%d in-flight=%d\n", m.Injected, m.Delivered, m.InFlight)
+	fmt.Printf("latency   : avg=%.2f max=%d (over %d measured deliveries)\n", m.AvgLatency(), m.LatencyMax, m.Measured)
+	if m.Attempts > 0 {
+		fmt.Printf("inj. rate : %.1f%% (%d/%d attempts)\n", 100*m.InjectionRate(), m.Successes, m.Attempts)
+	}
+	fmt.Printf("movement  : %d moves, %d over dynamic links (%.1f%%), max queue occupancy %d\n",
+		m.Moves, m.DynamicMoves, pct(m.DynamicMoves, m.Moves), m.MaxQueue)
+	if collector != nil {
+		fmt.Printf("histogram : %s\n%s", collector.Summary(), collector.Histogram(16))
+	}
+}
+
+// runWormhole drives the flit-level engine for wh-* algorithm specs.
+func runWormhole(algoSpec, pattern, inject string, packets int, lambda float64, warmup, measure, seed int64, flits, vcbuf int, verify bool, maxCyc int64) {
+	route, err := repro.NewWormholeRoute(algoSpec)
+	fatal(err)
+	if verify {
+		fatal(repro.VerifyWormholeDeadlockFree(route))
+		fmt.Printf("cdg: %s certified deadlock-free\n", route.Name())
+	}
+	// Patterns are built against a packet algorithm on the same topology.
+	var likeSpec string
+	switch {
+	case strings.HasPrefix(algoSpec, "wh-hypercube"):
+		likeSpec = "hypercube-adaptive:" + strings.SplitN(algoSpec, ":", 2)[1]
+	default:
+		side := strings.SplitN(algoSpec, ":", 2)[1]
+		likeSpec = "torus-adaptive:" + side + "x" + side
+	}
+	like, err := repro.NewAlgorithm(likeSpec)
+	fatal(err)
+	pat, err := repro.NewPattern(pattern, like, seed)
+	fatal(err)
+	eng, err := repro.NewWormholeEngine(repro.WormholeConfig{Route: route, Flits: flits, VCBuf: vcbuf, Seed: seed})
+	fatal(err)
+	var m repro.WormholeMetrics
+	start := time.Now()
+	if strings.EqualFold(inject, "dynamic") {
+		m, err = eng.RunDynamic(repro.NewDynamicTraffic(pat, like, lambda, seed+1), warmup, measure)
+	} else {
+		m, err = eng.RunStatic(repro.NewStaticTraffic(pat, like, packets, seed+1), maxCyc)
+	}
+	fatal(err)
+	fmt.Printf("route     : %s on %s (%d VCs/link, %d flits/worm, vcbuf %d)\n",
+		route.Name(), route.Topology().Name(), route.NumVCs(), flits, vcbuf)
+	fmt.Printf("cycles    : %d  [%s]\n", m.Cycles, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("worms     : injected=%d delivered=%d in-flight=%d\n", m.Injected, m.Delivered, m.InFlight)
+	fmt.Printf("latency   : full avg=%.2f max=%d, header avg=%.2f\n", m.AvgLatency(), m.LatencyMax, m.AvgHeaderLatency())
+	if strings.EqualFold(inject, "dynamic") && m.Attempts > 0 {
+		fmt.Printf("inj. rate : %.1f%%\n", 100*m.InjectionRate())
+	}
+	fmt.Printf("channels  : %d adaptive / %d escape allocations, %d flit moves\n",
+		m.AdaptAlloc, m.EscapeAlloc, m.FlitMoves)
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "routesim:", err)
+		os.Exit(1)
+	}
+}

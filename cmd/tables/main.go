@@ -1,0 +1,103 @@
+// Command tables regenerates the paper's Tables 1-12 (Section 7) and prints
+// every row next to the published value.
+//
+// Usage:
+//
+//	tables [-table tableK] [-maxn 14] [-seed 1] [-cap 5] [-algo adaptive]
+//	       [-warmup 500] [-measure 1500] [-policy first-free]
+//
+// The full sweep up to n=14 (16K nodes) takes tens of minutes on one core,
+// dominated by the dynamic (λ=1) experiments; -maxn 12 finishes in a few
+// minutes and already shows every trend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "", "run a single experiment (table1..table12 or an ext-* id); default all")
+		suite   = flag.String("suite", "paper", "experiment suite: paper (Tables 1-12) | extended (mesh/torus/shuffle/CCC) | all")
+		maxN    = flag.Int("maxn", 14, "largest hypercube dimension to simulate")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		cap_    = flag.Int("cap", 5, "central queue capacity (paper: 5)")
+		algo    = flag.String("algo", "adaptive", "algorithm variant: adaptive|hung|ecube")
+		warmup  = flag.Int64("warmup", 500, "dynamic runs: warmup cycles")
+		measure = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
+		policy  = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Seed:      *seed,
+		QueueCap:  *cap_,
+		Warmup:    *warmup,
+		Measure:   *measure,
+		Algorithm: *algo,
+	}
+	switch *policy {
+	case "first-free":
+		opt.Policy = sim.PolicyFirstFree
+	case "random":
+		opt.Policy = sim.PolicyRandom
+	case "static-first":
+		opt.Policy = sim.PolicyStaticFirst
+	case "last-free":
+		opt.Policy = sim.PolicyLastFree
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	runPaper := func(ex bench.Experiment) {
+		start := time.Now()
+		rows, err := ex.RunAll(*maxN, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(ex.Format(rows))
+		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	runExt := func(ex bench.Extended) {
+		start := time.Now()
+		rows, err := ex.RunAll(0, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(ex.Format(rows))
+		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *table != "" {
+		if ex, err := bench.FindTable(*table); err == nil {
+			runPaper(ex)
+			return
+		}
+		ex, err := bench.FindExtended(*table)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runExt(ex)
+		return
+	}
+	if *suite == "paper" || *suite == "all" {
+		for _, ex := range bench.Tables() {
+			runPaper(ex)
+		}
+	}
+	if *suite == "extended" || *suite == "all" {
+		for _, ex := range bench.ExtendedSuite() {
+			runExt(ex)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Mesh routing scenario (Section 4): a 16x16 mesh-connected machine running
+// the workloads a mesh router actually sees — a structured matrix transpose
+// and uniform random traffic — under the paper's fully-adaptive two-queue
+// scheme, its static two-phase ablation, and oblivious dimension-order (XY)
+// routing. XY needs four directional queues to be deadlock-free in a
+// store-and-forward mesh, so comparisons are shown at equal total buffering
+// per node (2x10 slots vs 4x5 slots).
+//
+// Two regimes are shown deliberately:
+//
+//   - Finite (static) workloads, the paper's main regime: the adaptive
+//     scheme drains them with minimal paths and bounded queues.
+//
+//   - Sustained overload (λ well above saturation): here the hung-mesh
+//     structure funnels every packet with ascending work through the
+//     high-coordinate region, and the network settles into a congested
+//     equilibrium that drains at "bubble" speed, well below XY's balanced
+//     L-paths. The paper observed exactly this hot-region effect on the
+//     hypercube and added dynamic links to fix it; the mesh's border
+//     asymmetry keeps some of the effect even with dynamic links. See
+//     EXPERIMENTS.md for the full study.
+//
+//     go run ./examples/meshrouter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+type variant struct {
+	spec string
+	cap  int // queue capacity chosen so total slots/node match (20)
+}
+
+var variants = []variant{
+	{"mesh-adaptive:16x16", 10},
+	{"mesh-twophase:16x16", 10},
+	{"mesh-xy:16x16", 5},
+}
+
+func engine(v variant) (repro.Algorithm, *repro.Engine) {
+	algo, err := repro.NewAlgorithm(v.spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 3, QueueCap: v.cap})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return algo, eng
+}
+
+func main() {
+	fmt.Println("16x16 mesh, equal total buffering (20 central slots per node)")
+
+	fmt.Println("\nmatrix transpose, 16 packets per node (static):")
+	fmt.Printf("  %-16s %8s %8s %8s %10s\n", "algorithm", "cycles", "Lavg", "Lmax", "dyn-moves")
+	for _, v := range variants {
+		algo, eng := engine(v)
+		pat, err := repro.NewPattern("mesh-transpose", algo, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := eng.RunStatic(repro.NewStaticTraffic(pat, algo, 16, 9), 10_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %8d %8.2f %8d %9.1f%%\n",
+			algo.Name(), m.Cycles, m.AvgLatency(), m.LatencyMax,
+			100*float64(m.DynamicMoves)/float64(m.Moves))
+	}
+
+	fmt.Println("\nuniform random traffic at moderate load (lambda=0.15, dynamic):")
+	fmt.Printf("  %-16s %8s %8s %8s\n", "algorithm", "Lavg", "Lmax", "Ir%")
+	for _, v := range variants {
+		algo, eng := engine(v)
+		pat, err := repro.NewPattern("random", algo, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, 0.15, 9), 500, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %8.2f %8d %7.0f%%\n",
+			algo.Name(), m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate())
+	}
+
+	fmt.Println("\nuniform random traffic far beyond saturation (lambda=0.6, dynamic):")
+	fmt.Printf("  %-16s %8s %8s %8s\n", "algorithm", "Lavg", "Lmax", "Ir%")
+	for _, v := range variants {
+		algo, eng := engine(v)
+		pat, err := repro.NewPattern("random", algo, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, 0.6, 9), 500, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %8.2f %8d %7.0f%%\n",
+			algo.Name(), m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate())
+	}
+
+	fmt.Println("\nReading: on finite workloads the two-queue adaptive scheme is")
+	fmt.Println("competitive with four-queue XY at equal buffering, and its paths stay")
+	fmt.Println("minimal. Under sustained overload the hung-mesh phase structure")
+	fmt.Println("congests the high-coordinate region and XY's balanced oblivious paths")
+	fmt.Println("win on raw throughput — the mesh analogue of the hypercube hot-spot")
+	fmt.Println("the paper's dynamic links were designed to relieve.")
+}

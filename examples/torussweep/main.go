@@ -1,0 +1,51 @@
+// Torus saturation sweep: the paper sketches a fully-adaptive minimal
+// deadlock-free packet routing for tori at the end of Section 4; this
+// repository realizes it with wrap-usage classes (see internal/core). The
+// example sweeps the injection rate λ on an 8x8 torus under uniform random
+// traffic and prints the throughput/latency curve — the standard way to
+// read off a router's saturation point.
+//
+//	go run ./examples/torussweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	algo, err := repro.NewAlgorithm("torus-adaptive:8x8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.VerifyDeadlockFree(algo); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("qdg: torus-adaptive:8x8 certified deadlock-free")
+	pat, err := repro.NewPattern("random", algo, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n8x8 torus, uniform random traffic, buffered node model:")
+	fmt.Printf("  %6s | %8s %8s %8s %12s\n", "lambda", "Lavg", "Lmax", "Ir%", "delivered/cyc")
+	for _, lambda := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0} {
+		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, lambda, 9), 500, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perCycle := float64(m.Delivered) / float64(m.Cycles) / float64(algo.Topology().Nodes())
+		fmt.Printf("  %6.2f | %8.2f %8d %7.0f%% %12.3f\n",
+			lambda, m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate(), perCycle)
+	}
+	fmt.Println("\nLatency stays near the uncongested 2d+1 level until the router")
+	fmt.Println("saturates, after which the effective injection rate caps the load")
+	fmt.Println("while latency and queue occupancy level off — bounded queues, no")
+	fmt.Println("deadlock, no livelock.")
+}

@@ -1,0 +1,297 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Section 7): one Experiment per published table, carrying the
+// paper's reported numbers so runs print paper-vs-measured side by side.
+//
+// All twelve tables simulate the fully-adaptive hypercube algorithm with
+// injection queue size 1 and central queue capacity 5, across hypercube
+// dimensions 10-14 (1K-16K nodes); Table 12 additionally reports n=9.
+// Static experiments inject 1 or n packets per node and drain; dynamic
+// experiments run a Bernoulli λ=1 process and measure the steady state.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// PatternKind names the four communication patterns of Section 7.1.
+type PatternKind string
+
+// The paper's communication patterns.
+const (
+	Random  PatternKind = "random"
+	Compl   PatternKind = "complement"
+	Transp  PatternKind = "transpose"
+	Leveled PatternKind = "leveled"
+)
+
+// InjectionKind distinguishes the injection models of Section 7.1.
+type InjectionKind string
+
+// Injection models: static with 1 packet per node, static with n packets
+// per node, and dynamic Bernoulli λ=1.
+const (
+	Static1 InjectionKind = "static-1"
+	StaticN InjectionKind = "static-n"
+	Dynamic InjectionKind = "dynamic"
+)
+
+// PaperRow is one row of a published table.
+type PaperRow struct {
+	Dims int     // hypercube dimension n
+	Lavg float64 // published average latency
+	Lmax int64   // published maximum latency
+	Ir   float64 // published effective injection rate in percent (dynamic only)
+}
+
+// Experiment describes one table of the paper.
+type Experiment struct {
+	ID        string // "table1" ... "table12"
+	Title     string // the paper's caption
+	Pattern   PatternKind
+	Injection InjectionKind
+	Paper     []PaperRow
+}
+
+// Row is one measured row, paired with the paper's values.
+type Row struct {
+	Dims      int
+	Nodes     int
+	Lavg      float64
+	Lmax      int64
+	Ir        float64 // percent; meaningful only for dynamic experiments
+	Cycles    int64
+	Delivered int64
+	Paper     PaperRow
+}
+
+// Options tunes a run. The zero value reproduces the paper's setup.
+type Options struct {
+	Seed     int64
+	QueueCap int        // default 5 (the paper's value)
+	Policy   sim.Policy // default PolicyFirstFree (the paper's fill order)
+	Warmup   int64      // dynamic runs: warmup cycles (default 500)
+	Measure  int64      // dynamic runs: measured cycles (default 1500)
+	Workers  int
+	// Algorithm overrides the fully-adaptive scheme for ablations:
+	// "adaptive" (default), "hung", "ecube".
+	Algorithm string
+}
+
+func (o *Options) fill() {
+	if o.QueueCap == 0 {
+		o.QueueCap = 5
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 500
+	}
+	if o.Measure == 0 {
+		o.Measure = 1500
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = "adaptive"
+	}
+}
+
+// Tables returns the twelve experiments of Section 7 with the paper's
+// published values.
+func Tables() []Experiment {
+	return []Experiment{
+		{
+			ID: "table1", Title: "Random Routing, 1 packet", Pattern: Random, Injection: Static1,
+			Paper: []PaperRow{{10, 10.96, 19, 0}, {11, 12.09, 21, 0}, {12, 13.08, 25, 0}, {13, 14.03, 27, 0}, {14, 15.04, 29, 0}},
+		},
+		{
+			ID: "table2", Title: "Complement, 1 packet", Pattern: Compl, Injection: Static1,
+			Paper: []PaperRow{{10, 21, 21, 0}, {11, 23, 23, 0}, {12, 25, 25, 0}, {13, 27, 27, 0}, {14, 29, 29, 0}},
+		},
+		{
+			ID: "table3", Title: "Transpose, 1 packet", Pattern: Transp, Injection: Static1,
+			Paper: []PaperRow{{10, 11.09, 21, 0}, {11, 11.09, 21, 0}, {12, 13.13, 25, 0}, {13, 13.13, 25, 0}, {14, 15.23, 29, 0}},
+		},
+		{
+			ID: "table4", Title: "Leveled Permutation, 1 packet", Pattern: Leveled, Injection: Static1,
+			Paper: []PaperRow{{10, 10.10, 21, 0}, {11, 10.98, 21, 0}, {12, 12.06, 25, 0}, {13, 13.07, 25, 0}, {14, 14.03, 29, 0}},
+		},
+		{
+			ID: "table5", Title: "Random Routing, n packets", Pattern: Random, Injection: StaticN,
+			Paper: []PaperRow{{10, 11.33, 22, 0}, {11, 12.52, 25, 0}, {12, 13.76, 27, 0}, {13, 15.02, 30, 0}, {14, 16.54, 32, 0}},
+		},
+		{
+			ID: "table6", Title: "Complement, n packets", Pattern: Compl, Injection: StaticN,
+			Paper: []PaperRow{{10, 21, 21, 0}, {11, 24.99, 30, 0}, {12, 28.61, 35, 0}, {13, 32.74, 39, 0}, {14, 36.23, 44, 0}},
+		},
+		{
+			ID: "table7", Title: "Transpose, n packets", Pattern: Transp, Injection: StaticN,
+			Paper: []PaperRow{{10, 12.27, 26, 0}, {11, 12.40, 32, 0}, {12, 16.01, 37, 0}, {13, 16.22, 36, 0}, {14, 20.49, 43, 0}},
+		},
+		{
+			ID: "table8", Title: "Leveled Permutation, n packets", Pattern: Leveled, Injection: StaticN,
+			Paper: []PaperRow{{10, 10.78, 23, 0}, {11, 11.77, 25, 0}, {12, 13.17, 28, 0}, {13, 14.60, 32, 0}, {14, 16.03, 37, 0}},
+		},
+		{
+			ID: "table9", Title: "Random Routing, lambda=1", Pattern: Random, Injection: Dynamic,
+			Paper: []PaperRow{{10, 12.10, 30, 93}, {11, 13.47, 35, 89}, {12, 15.01, 37, 85}, {13, 16.58, 44, 81}, {14, 18.30, 49, 76}},
+		},
+		{
+			ID: "table10", Title: "Complement, lambda=1", Pattern: Compl, Injection: Dynamic,
+			Paper: []PaperRow{{10, 33.32, 52, 55}, {11, 39.29, 58, 49}, {12, 45.60, 68, 45}, {13, 52.87, 79, 41}, {14, 60.70, 90, 38}},
+		},
+		{
+			ID: "table11", Title: "Transpose, lambda=1", Pattern: Transp, Injection: Dynamic,
+			Paper: []PaperRow{{10, 14.67, 36, 83}, {11, 14.67, 36, 83}, {12, 15.78, 49, 73}, {13, 20.31, 54, 71}, {14, 27.33, 66, 61}},
+		},
+		{
+			ID: "table12", Title: "Leveled Permutation, lambda=1", Pattern: Leveled, Injection: Dynamic,
+			Paper: []PaperRow{{9, 11.28, 37, 94}, {10, 12.47, 43, 91}, {11, 13.50, 48, 89}, {12, 15.17, 56, 84}, {13, 16.91, 53, 80}, {14, 18.46, 57, 75}},
+		},
+	}
+}
+
+// FindTable returns the experiment with the given id ("table7").
+func FindTable(id string) (Experiment, error) {
+	for _, ex := range Tables() {
+		if ex.ID == id {
+			return ex, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// algorithm builds the hypercube algorithm variant for the options.
+func algorithm(dims int, opt Options) (core.Algorithm, error) {
+	switch opt.Algorithm {
+	case "adaptive":
+		return core.NewHypercubeAdaptive(dims), nil
+	case "hung":
+		return core.NewHypercubeHung(dims), nil
+	case "ecube":
+		return core.NewHypercubeECube(dims), nil
+	}
+	return nil, fmt.Errorf("bench: unknown algorithm variant %q", opt.Algorithm)
+}
+
+// pattern builds the traffic pattern for a run.
+func pattern(kind PatternKind, dims int, seed int64) (traffic.Pattern, error) {
+	switch kind {
+	case Random:
+		return traffic.Random{Nodes: 1 << dims}, nil
+	case Compl:
+		return traffic.Complement{Bits: dims}, nil
+	case Transp:
+		return traffic.Transpose{Bits: dims}, nil
+	case Leveled:
+		return traffic.NewLeveled(dims, seed), nil
+	}
+	return nil, fmt.Errorf("bench: unknown pattern %q", kind)
+}
+
+// paperRow returns the published values for dims, or a zero row.
+func (ex Experiment) paperRow(dims int) PaperRow {
+	for _, r := range ex.Paper {
+		if r.Dims == dims {
+			return r
+		}
+	}
+	return PaperRow{Dims: dims}
+}
+
+// Dims lists the hypercube dimensions the paper reports for this table.
+func (ex Experiment) Dims() []int {
+	out := make([]int, len(ex.Paper))
+	for i, r := range ex.Paper {
+		out[i] = r.Dims
+	}
+	return out
+}
+
+// Run executes one row of the experiment at the given hypercube dimension.
+func (ex Experiment) Run(dims int, opt Options) (Row, error) {
+	opt.fill()
+	algo, err := algorithm(dims, opt)
+	if err != nil {
+		return Row{}, err
+	}
+	pat, err := pattern(ex.Pattern, dims, opt.Seed+1)
+	if err != nil {
+		return Row{}, err
+	}
+	nodes := 1 << dims
+	cfg := sim.Config{
+		Algorithm: algo,
+		QueueCap:  opt.QueueCap,
+		Policy:    opt.Policy,
+		Seed:      opt.Seed,
+		Workers:   opt.Workers,
+	}
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	var m sim.Metrics
+	switch ex.Injection {
+	case Static1:
+		src := traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
+		m, err = eng.RunStatic(src, 10_000_000)
+	case StaticN:
+		src := traffic.NewStaticSource(pat, nodes, dims, opt.Seed+2)
+		m, err = eng.RunStatic(src, 10_000_000)
+	case Dynamic:
+		src := traffic.NewBernoulliSource(pat, nodes, 1.0, opt.Seed+2)
+		m, err = eng.RunDynamic(src, opt.Warmup, opt.Measure)
+	default:
+		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
+	}
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Dims:      dims,
+		Nodes:     nodes,
+		Lavg:      m.AvgLatency(),
+		Lmax:      m.LatencyMax,
+		Ir:        100 * m.InjectionRate(),
+		Cycles:    m.Cycles,
+		Delivered: m.Delivered,
+		Paper:     ex.paperRow(dims),
+	}, nil
+}
+
+// RunAll executes the experiment at every dimension the paper reports, up
+// to maxDims (0 = all).
+func (ex Experiment) RunAll(maxDims int, opt Options) ([]Row, error) {
+	var rows []Row
+	for _, d := range ex.Dims() {
+		if maxDims > 0 && d > maxDims {
+			continue
+		}
+		r, err := ex.Run(d, opt)
+		if err != nil {
+			return rows, fmt.Errorf("%s n=%d: %w", ex.ID, d, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Format renders measured rows against the paper's values.
+func (ex Experiment) Format(rows []Row) string {
+	s := fmt.Sprintf("%s: %s\n", ex.ID, ex.Title)
+	if ex.Injection == Dynamic {
+		s += "  n      N |   Lavg   Lmax  Ir%% |  paper:  Lavg   Lmax  Ir%%\n"
+		for _, r := range rows {
+			s += fmt.Sprintf(" %2d %6d | %6.2f %6d  %3.0f |         %6.2f %6d  %3.0f\n",
+				r.Dims, r.Nodes, r.Lavg, r.Lmax, r.Ir, r.Paper.Lavg, r.Paper.Lmax, r.Paper.Ir)
+		}
+	} else {
+		s += "  n      N |   Lavg   Lmax |  paper:  Lavg   Lmax\n"
+		for _, r := range rows {
+			s += fmt.Sprintf(" %2d %6d | %6.2f %6d |         %6.2f %6d\n",
+				r.Dims, r.Nodes, r.Lavg, r.Lmax, r.Paper.Lavg, r.Paper.Lmax)
+		}
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTablesComplete(t *testing.T) {
+	tables := Tables()
+	if len(tables) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(tables))
+	}
+	for i, ex := range tables {
+		if want := "table" + string(rune('1'+i)); i < 9 && ex.ID != want {
+			t.Errorf("experiment %d id = %q, want %q", i, ex.ID, want)
+		}
+		if len(ex.Paper) < 5 {
+			t.Errorf("%s: only %d paper rows", ex.ID, len(ex.Paper))
+		}
+		for _, r := range ex.Paper {
+			if r.Lavg <= 0 || r.Lmax <= 0 {
+				t.Errorf("%s: bad paper row %+v", ex.ID, r)
+			}
+			if ex.Injection == Dynamic && r.Ir <= 0 {
+				t.Errorf("%s: dynamic row missing Ir: %+v", ex.ID, r)
+			}
+		}
+	}
+}
+
+func TestFindTable(t *testing.T) {
+	ex, err := FindTable("table7")
+	if err != nil || ex.Pattern != Transp || ex.Injection != StaticN {
+		t.Fatalf("FindTable(table7) = %+v, %v", ex, err)
+	}
+	if _, err := FindTable("table99"); err == nil {
+		t.Fatal("FindTable accepted a bogus id")
+	}
+}
+
+// TestRunStaticTables runs the four static-1 experiments at a small size and
+// sanity-checks the measured values against the analytic expectations that
+// also hold at n=6: complement is exactly 2n+1, the others are near their
+// mean distance times two plus one.
+func TestRunStaticTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		ex, err := FindTable(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := ex.Run(6, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if row.Delivered != 64 {
+			t.Errorf("%s: delivered %d, want 64", id, row.Delivered)
+		}
+		if row.Lavg < 5 || row.Lavg > 14 {
+			t.Errorf("%s: implausible Lavg %.2f", id, row.Lavg)
+		}
+		if id == "table2" && row.Lavg != 13 {
+			t.Errorf("table2: Lavg = %.2f, want exactly 2n+1 = 13", row.Lavg)
+		}
+	}
+}
+
+// TestRunDynamicTable smoke-tests a dynamic experiment at a small size.
+func TestRunDynamicTable(t *testing.T) {
+	ex, err := FindTable("table9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := ex.Run(6, Options{Seed: 3, Warmup: 100, Measure: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Ir <= 20 || row.Ir > 100 {
+		t.Errorf("Ir = %.1f%% implausible", row.Ir)
+	}
+	if row.Lavg < 5 || row.Lavg > 30 {
+		t.Errorf("Lavg = %.2f implausible", row.Lavg)
+	}
+}
+
+// TestAblationVariants checks the hung and ecube variants run and that the
+// adaptive scheme beats the hung scheme on complement, the paper's headline.
+func TestAblationVariants(t *testing.T) {
+	ex, err := FindTable("table6") // complement, n packets
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := ex.Run(6, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hung, err := ex.Run(6, Options{Seed: 3, Algorithm: "hung"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Cycles >= hung.Cycles {
+		t.Errorf("adaptive drained in %d cycles, hung in %d; expected a clear win", adaptive.Cycles, hung.Cycles)
+	}
+	if _, err := ex.Run(6, Options{Seed: 3, Algorithm: "ecube"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Run(6, Options{Seed: 3, Algorithm: "bogus"}); err == nil {
+		t.Fatal("bogus algorithm variant accepted")
+	}
+}
+
+// TestRunAllRespectsMaxDims verifies dimension filtering.
+func TestRunAllRespectsMaxDims(t *testing.T) {
+	ex, err := FindTable("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ex.RunAll(10, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Dims != 10 {
+		t.Fatalf("RunAll(10) returned %d rows", len(rows))
+	}
+	// Exact closed form at the published size: complement, 1 packet.
+	if rows[0].Lavg != 21 || rows[0].Lmax != 21 {
+		t.Errorf("table2 n=10: got %.2f/%d, want the paper's exact 21/21", rows[0].Lavg, rows[0].Lmax)
+	}
+	if math.Abs(rows[0].Lavg-rows[0].Paper.Lavg) > 1e-9 {
+		t.Errorf("paper row not attached correctly: %+v", rows[0].Paper)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	ex, _ := FindTable("table9")
+	out := ex.Format([]Row{{Dims: 10, Nodes: 1024, Lavg: 12.3, Lmax: 31, Ir: 92, Paper: PaperRow{10, 12.10, 30, 93}}})
+	for _, want := range []string{"table9", "12.30", "12.10", "Ir"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	ex2, _ := FindTable("table1")
+	out2 := ex2.Format([]Row{{Dims: 10, Nodes: 1024, Lavg: 11.0, Lmax: 19, Paper: PaperRow{10, 10.96, 19, 0}}})
+	if strings.Contains(out2, "Ir") {
+		t.Errorf("static table format mentions Ir:\n%s", out2)
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// testAlgorithms returns small instances of every algorithm in the package.
+func testAlgorithms() []Algorithm {
+	return []Algorithm{
+		NewHypercubeAdaptive(4),
+		NewHypercubeHung(4),
+		NewHypercubeECube(4),
+		NewMeshAdaptive(4, 4),
+		NewMeshAdaptive(3, 4, 2),
+		NewMeshTwoPhase(4, 4),
+		NewMeshXY(4, 4),
+		NewMeshXY(3, 3, 3),
+		NewShuffleExchangeAdaptive(4),
+		NewShuffleExchangeStatic(4),
+		NewShuffleExchangeEager(4),
+		NewCCCAdaptive(3),
+		NewCCCStatic(3),
+		NewTorusAdaptive(4, 4),
+		NewTorusAdaptive(5, 3),
+		NewTorusAdaptive(3, 3, 3),
+	}
+}
+
+// walk routes a single packet greedily from src to dst with no congestion,
+// choosing among candidates with pick, and returns the number of link hops.
+// It fails the test if the packet is not delivered within MaxHops link
+// traversals (internal moves are bounded separately).
+func walk(t *testing.T, a Algorithm, src, dst int32, pick func([]Move) Move) int {
+	t.Helper()
+	class, work := a.Inject(src, dst)
+	node := src
+	hops, internal := 0, 0
+	buf := make([]Move, 0, 16)
+	for {
+		buf = a.Candidates(node, class, work, dst, buf[:0])
+		if len(buf) == 0 {
+			t.Fatalf("%s: no candidates at node=%d class=%d work=%#x dst=%d", a.Name(), node, class, work, dst)
+		}
+		m := pick(buf)
+		if m.Deliver {
+			if node != dst {
+				t.Fatalf("%s: delivered at %d, want %d", a.Name(), node, dst)
+			}
+			return hops
+		}
+		if m.Port != PortInternal {
+			hops++
+			if want := a.Topology().Neighbor(int(node), int(m.Port)); want != int(m.Node) {
+				t.Fatalf("%s: move via port %d from %d reaches %d, move says %d", a.Name(), m.Port, node, want, m.Node)
+			}
+		} else {
+			internal++
+		}
+		if hops > a.MaxHops(src, dst) {
+			t.Fatalf("%s: %d->%d exceeded MaxHops=%d", a.Name(), src, dst, a.MaxHops(src, dst))
+		}
+		if internal > 4*a.MaxHops(src, dst)+8 {
+			t.Fatalf("%s: %d->%d spinning on internal moves", a.Name(), src, dst)
+		}
+		node, class, work = m.Node, m.Class, m.Work
+	}
+}
+
+func forAllPairs(t *testing.T, a Algorithm, f func(src, dst int32)) {
+	t.Helper()
+	n := a.Topology().Nodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			f(int32(s), int32(d))
+		}
+	}
+}
+
+// TestWalkDeliversAllPairs routes every (src,dst) pair three ways: always
+// the first candidate, always the last, and pseudo-randomly. Minimal
+// algorithms must use exactly Distance(src,dst) link hops.
+func TestWalkDeliversAllPairs(t *testing.T) {
+	for _, a := range testAlgorithms() {
+		a := a
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			picks := map[string]func([]Move) Move{
+				"first":  func(ms []Move) Move { return ms[0] },
+				"last":   func(ms []Move) Move { return ms[len(ms)-1] },
+				"random": func(ms []Move) Move { return ms[rng.Intn(len(ms))] },
+			}
+			for name, pick := range picks {
+				forAllPairs(t, a, func(src, dst int32) {
+					hops := walk(t, a, src, dst, pick)
+					if a.Props().Minimal {
+						if want := a.Topology().Distance(int(src), int(dst)); hops != want {
+							t.Fatalf("pick=%s %d->%d took %d hops, want %d", name, src, dst, hops, want)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStaticOnlyWalkDelivers re-routes every pair using only static
+// candidates: the underlying DAG must reach the destination on its own.
+func TestStaticOnlyWalkDelivers(t *testing.T) {
+	for _, a := range testAlgorithms() {
+		a := a
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			pick := func(ms []Move) Move {
+				static := ms[:0:0]
+				for _, m := range ms {
+					if m.Kind == Static {
+						static = append(static, m)
+					}
+				}
+				if len(static) == 0 {
+					t.Fatalf("no static candidate among %v", ms)
+				}
+				return static[rng.Intn(len(static))]
+			}
+			forAllPairs(t, a, func(src, dst int32) { walk(t, a, src, dst, pick) })
+		})
+	}
+}
+
+// TestEveryStateHasStaticCandidate explores all states reachable through
+// any candidate mix and checks the Section 2 requirement that a static move
+// is always available.
+func TestEveryStateHasStaticCandidate(t *testing.T) {
+	for _, a := range testAlgorithms() {
+		a := a
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			type state struct {
+				node  int32
+				class QueueClass
+				work  uint32
+				dst   int32
+			}
+			seen := make(map[state]bool)
+			var stack []state
+			forAllPairs(t, a, func(src, dst int32) {
+				class, work := a.Inject(src, dst)
+				s := state{src, class, work, dst}
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			})
+			buf := make([]Move, 0, 16)
+			for len(stack) > 0 {
+				s := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				buf = a.Candidates(s.node, s.class, s.work, s.dst, buf[:0])
+				hasStatic := false
+				for _, m := range buf {
+					if m.Kind == Static {
+						hasStatic = true
+					}
+					if m.Deliver {
+						continue
+					}
+					ns := state{m.Node, m.Class, m.Work, s.dst}
+					if !seen[ns] {
+						seen[ns] = true
+						stack = append(stack, ns)
+					}
+				}
+				if !hasStatic {
+					t.Fatalf("state node=%d class=%d work=%#x dst=%d has no static candidate",
+						s.node, s.class, s.work, s.dst)
+				}
+			}
+		})
+	}
+}
+
+// TestFullAdaptivityAtInjection checks the paper's definition: for a
+// fully-adaptive minimal algorithm, every neighbor on some minimal path must
+// be offered as a candidate at injection time (dynamic links count: they are
+// usable whenever space is found).
+func TestFullAdaptivityAtInjection(t *testing.T) {
+	for _, a := range testAlgorithms() {
+		a := a
+		if !a.Props().FullyAdaptive {
+			continue
+		}
+		if _, isTorus := a.Topology().(*topology.Torus); isTorus {
+			// The torus scheme fixes tie directions at injection; full
+			// adaptivity is checked by TestTorusAdaptivityNoTies instead.
+			continue
+		}
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			checkFullAdaptivity(t, a, nil)
+		})
+	}
+}
+
+// checkFullAdaptivity verifies all minimal first hops are offered for every
+// pair accepted by filter (nil accepts all).
+func checkFullAdaptivity(t *testing.T, a Algorithm, filter func(src, dst int32) bool) {
+	t.Helper()
+	topo := a.Topology()
+	buf := make([]Move, 0, 16)
+	forAllPairs(t, a, func(src, dst int32) {
+		if filter != nil && !filter(src, dst) {
+			return
+		}
+		class, work := a.Inject(src, dst)
+		buf = a.Candidates(src, class, work, dst, buf[:0])
+		offered := make(map[int32]bool)
+		for _, m := range buf {
+			if !m.Deliver && m.Port != PortInternal {
+				offered[m.Node] = true
+			}
+		}
+		d := topo.Distance(int(src), int(dst))
+		for p := 0; p < topo.Ports(); p++ {
+			v := topo.Neighbor(int(src), p)
+			if v == topology.None {
+				continue
+			}
+			if topo.Distance(v, int(dst)) == d-1 && !offered[int32(v)] {
+				t.Fatalf("%s: %d->%d: minimal first hop %d not offered (candidates %v)",
+					a.Name(), src, dst, v, buf)
+			}
+		}
+	})
+}
+
+// TestTorusAdaptivityNoTies checks full adaptivity on an odd-sided torus,
+// where no direction ties exist and every minimal hop must be offered.
+func TestTorusAdaptivityNoTies(t *testing.T) {
+	checkFullAdaptivity(t, NewTorusAdaptive(5, 5), nil)
+	checkFullAdaptivity(t, NewTorusAdaptive(3, 5, 3), nil)
+}
+
+// TestHypercubeRoutingFunction spot-checks the formal definition of Section 3.
+func TestHypercubeRoutingFunction(t *testing.T) {
+	a := NewHypercubeAdaptive(4)
+	// s=0000, d=1010: incorrect zeros exist -> inject to qA.
+	if c, _ := a.Inject(0b0000, 0b1010); c != ClassA {
+		t.Errorf("Inject(0000,1010) class = %d, want qA", c)
+	}
+	// s=1010, d=0000: only incorrect ones -> inject to qB.
+	if c, _ := a.Inject(0b1010, 0b0000); c != ClassB {
+		t.Errorf("Inject(1010,0000) class = %d, want qB", c)
+	}
+	// In qA at 0011 heading to 1010: dims 0 (1->0), 3 (0->1) differ.
+	ms := a.Candidates(0b0011, ClassA, 0, 0b1010, nil)
+	if len(ms) != 2 {
+		t.Fatalf("candidates = %v, want 2 moves", ms)
+	}
+	byNode := map[int32]Move{}
+	for _, m := range ms {
+		byNode[m.Node] = m
+	}
+	if m, ok := byNode[0b0010]; !ok || m.Kind != Dynamic {
+		t.Errorf("1->0 correction to 0010 missing or not dynamic: %+v", m)
+	}
+	if m, ok := byNode[0b1011]; !ok || m.Kind != Static {
+		t.Errorf("0->1 correction to 1011 missing or not static: %+v", m)
+	}
+	// In qA at 1011 heading to 1010 (only dim 0 incorrect, a 1): phase change.
+	ms = a.Candidates(0b1011, ClassA, 0, 0b1010, nil)
+	if len(ms) != 1 || ms[0].Port != PortInternal || ms[0].Class != ClassB {
+		t.Errorf("phase change candidates = %v", ms)
+	}
+	// In qB at destination: deliver.
+	ms = a.Candidates(0b1010, ClassB, 0, 0b1010, nil)
+	if len(ms) != 1 || !ms[0].Deliver {
+		t.Errorf("delivery candidates = %v", ms)
+	}
+}
+
+// TestMeshRoutingFunction spot-checks the formal definition of Section 4.
+func TestMeshRoutingFunction(t *testing.T) {
+	a := NewMeshAdaptive(4, 4)
+	m4 := a.Topology().(*topology.Mesh)
+	at := func(x, y int) int32 { return int32(m4.NodeAt(x, y)) }
+
+	// From (2,1) to (0,3): x descends (dynamic while y ascends), y ascends.
+	ms := a.Candidates(at(2, 1), ClassA, 0, at(0, 3), nil)
+	if len(ms) != 2 {
+		t.Fatalf("candidates = %v", ms)
+	}
+	var sawDynDown, sawStatUp bool
+	for _, m := range ms {
+		if m.Node == at(1, 1) && m.Kind == Dynamic {
+			sawDynDown = true
+		}
+		if m.Node == at(2, 2) && m.Kind == Static {
+			sawStatUp = true
+		}
+	}
+	if !sawDynDown || !sawStatUp {
+		t.Errorf("expected dynamic -x and static +y moves, got %v", ms)
+	}
+
+	// From (2,1) to (0,1): pure descent -> phase change in qA.
+	ms = a.Candidates(at(2, 1), ClassA, 0, at(0, 1), nil)
+	if len(ms) != 1 || ms[0].Class != ClassB || ms[0].Port != PortInternal {
+		t.Errorf("phase-change candidates = %v", ms)
+	}
+
+	// Injection straight into qB for a non-ascending destination.
+	if c, _ := a.Inject(at(3, 3), at(1, 2)); c != ClassB {
+		t.Errorf("Inject class = %d, want qB", c)
+	}
+}
+
+// TestShuffleHopBound confirms Theorem 3's 3n bound is tight enough: some
+// pair actually needs more than 2n link hops is *not* required, but all
+// pairs must stay within 3n and the static-only scheme must too.
+func TestShuffleHopBound(t *testing.T) {
+	for _, a := range []Algorithm{NewShuffleExchangeAdaptive(5), NewShuffleExchangeStatic(5), NewShuffleExchangeEager(5)} {
+		bound := 3 * 5
+		rng := rand.New(rand.NewSource(3))
+		forAllPairs(t, a, func(src, dst int32) {
+			h := walk(t, a, src, dst, func(ms []Move) Move { return ms[rng.Intn(len(ms))] })
+			if h > bound {
+				t.Fatalf("%s: %d->%d took %d hops > 3n", a.Name(), src, dst, h)
+			}
+		})
+	}
+}
+
+// TestECubeIsDimensionOrdered checks the oblivious baseline follows the
+// unique dimension-ordered path.
+func TestECubeIsDimensionOrdered(t *testing.T) {
+	a := NewHypercubeECube(4)
+	node, class, work := int32(0b0110), QueueClass(0), uint32(0)
+	dst := int32(0b1001)
+	class, work = func() (QueueClass, uint32) { c, w := a.Inject(node, dst); return c, w }()
+	wantPath := []int32{0b0111, 0b0101, 0b0001, 0b1001}
+	for i, want := range wantPath {
+		ms := a.Candidates(node, class, work, dst, nil)
+		if len(ms) != 1 {
+			t.Fatalf("step %d: oblivious algorithm offered %d moves", i, len(ms))
+		}
+		if ms[0].Node != want {
+			t.Fatalf("step %d: moved to %04b, want %04b", i, ms[0].Node, want)
+		}
+		if ms[0].Class != QueueClass(i+1) {
+			t.Fatalf("step %d: class %d, want hop-ordered %d", i, ms[0].Class, i+1)
+		}
+		node, class, work = ms[0].Node, ms[0].Class, ms[0].Work
+	}
+	ms := a.Candidates(node, class, work, dst, nil)
+	if len(ms) != 1 || !ms[0].Deliver {
+		t.Fatalf("final candidates = %v", ms)
+	}
+}
+
+// TestTorusWrapClassesGrow checks wrap classes only ever increase along any
+// path, and that a packet crosses each dimension's wrap link at most once.
+func TestTorusWrapClassesGrow(t *testing.T) {
+	a := NewTorusAdaptive(4, 4)
+	rng := rand.New(rand.NewSource(4))
+	forAllPairs(t, a, func(src, dst int32) {
+		class, work := a.Inject(src, dst)
+		node := src
+		buf := make([]Move, 0, 8)
+		for {
+			buf = a.Candidates(node, class, work, dst, buf[:0])
+			m := buf[rng.Intn(len(buf))]
+			if m.Deliver {
+				return
+			}
+			if m.Class>>1 < class>>1 {
+				t.Fatalf("%d->%d: wrap class shrank from %b to %b", src, dst, class>>1, m.Class>>1)
+			}
+			node, class, work = m.Node, m.Class, m.Work
+		}
+	})
+}
+
+// TestBufferClassOf pins down the buffered node model's buffer assignment.
+func TestBufferClassOf(t *testing.T) {
+	a := NewHypercubeAdaptive(3)
+	if got := BufferClassOf(a, Move{Class: ClassB, Kind: Static}); got != 1 {
+		t.Errorf("static move buffer = %d, want 1", got)
+	}
+	if got := BufferClassOf(a, Move{Class: ClassA, Kind: Dynamic}); got != 2 {
+		t.Errorf("dynamic move buffer = %d, want NumClasses=2", got)
+	}
+}
+
+// TestMinimalMovesReduceDistance checks that for minimal algorithms every
+// remote candidate strictly reduces the distance to the destination.
+func TestMinimalMovesReduceDistance(t *testing.T) {
+	for _, a := range testAlgorithms() {
+		if !a.Props().Minimal {
+			continue
+		}
+		a := a
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			topo := a.Topology()
+			rng := rand.New(rand.NewSource(5))
+			buf := make([]Move, 0, 16)
+			forAllPairs(t, a, func(src, dst int32) {
+				class, work := a.Inject(src, dst)
+				node := src
+				for {
+					buf = a.Candidates(node, class, work, dst, buf[:0])
+					for _, m := range buf {
+						if m.Deliver || m.Port == PortInternal {
+							continue
+						}
+						d0 := topo.Distance(int(node), int(dst))
+						d1 := topo.Distance(int(m.Node), int(dst))
+						if d1 != d0-1 {
+							t.Fatalf("%d->%d: move %d=>%d changes distance %d->%d", src, dst, node, m.Node, d0, d1)
+						}
+					}
+					m := buf[rng.Intn(len(buf))]
+					if m.Deliver {
+						return
+					}
+					node, class, work = m.Node, m.Class, m.Work
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package qdg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the QDG in Graphviz DOT format, reproducing the paper's
+// Figures 1-3 (the hung networks with their dynamic links): static edges are
+// drawn solid, dynamic edges dashed, and bubble-guarded edges dotted, with
+// queues of the same node grouped in a cluster. Queues are ranked by their
+// static level so the drawing "hangs" the network exactly like the figures.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	levels, err := g.Levels()
+	if err != nil {
+		// Guarded schemes may lack levels for queues on guarded rings; fall
+		// back to a flat drawing.
+		levels = map[Queue]int{}
+	}
+	var b []byte
+	p := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	p("digraph %q {\n", g.Algo.Name())
+	p("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	nodes := map[int32][]Queue{}
+	for _, q := range g.Queues {
+		nodes[q.Node] = append(nodes[q.Node], q)
+	}
+	var ids []int32
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p("  subgraph cluster_n%d {\n    label=\"node %d\";\n", id, id)
+		for _, q := range nodes[id] {
+			p("    %q [label=\"%s\\nlvl %d\"];\n", g.QueueName(q), g.QueueName(q), levels[q])
+		}
+		p("  }\n")
+	}
+
+	writeEdges := func(edges map[Edge]bool, style string) {
+		var es []Edge
+		for e := range edges {
+			es = append(es, e)
+		}
+		sort.Slice(es, func(i, j int) bool {
+			a, b := es[i], es[j]
+			if a.From != b.From {
+				if a.From.Node != b.From.Node {
+					return a.From.Node < b.From.Node
+				}
+				return a.From.Class < b.From.Class
+			}
+			if a.To.Node != b.To.Node {
+				return a.To.Node < b.To.Node
+			}
+			return a.To.Class < b.To.Class
+		})
+		for _, e := range es {
+			p("  %q -> %q [style=%s];\n", g.QueueName(e.From), g.QueueName(e.To), style)
+		}
+	}
+	writeEdges(g.Static, "solid")
+	writeEdges(g.Dynamic, "dashed")
+	writeEdges(g.Guarded, "dotted")
+	p("}\n")
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,57 @@
+package qdg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestGoldenDOT pins the Figure 1-3 exports against checked-in golden
+// files, so accidental changes to the QDG structure or the DOT rendering
+// are caught. Regenerate with:
+//
+//	go run ./cmd/qdgviz -algo <spec> -verify=false > internal/qdg/testdata/<file>
+func TestGoldenDOT(t *testing.T) {
+	cases := []struct {
+		file string
+		algo core.Algorithm
+	}{
+		{"fig1_hypercube3.dot", core.NewHypercubeAdaptive(3)},
+		{"fig2_mesh3x3.dot", core.NewMeshAdaptive(3, 3)},
+		{"fig3_shuffle3.dot", core.NewShuffleExchangeAdaptive(3)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Build(c.algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if err := g.WriteDOT(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != string(want) {
+				t.Errorf("%s: DOT output changed; regenerate the golden file if intentional.\nfirst diff near: %s",
+					c.file, firstDiff(sb.String(), string(want)))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return "line " + la[i] + " != " + lb[i]
+		}
+	}
+	return "length mismatch"
+}

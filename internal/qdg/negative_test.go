@@ -1,0 +1,154 @@
+package qdg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// The verifier is only trustworthy if it rejects broken designs. These
+// deliberately flawed algorithms each violate one of the Section 2
+// conditions and must fail the corresponding check.
+
+// cyclicStatic routes around a ring with a single static class and no
+// dateline: a textbook static QDG cycle.
+type cyclicStatic struct{ torus *topology.Torus }
+
+func (c *cyclicStatic) Name() string                                    { return "broken-cyclic-static" }
+func (c *cyclicStatic) Topology() topology.Topology                     { return c.torus }
+func (c *cyclicStatic) NumClasses() int                                 { return 1 }
+func (c *cyclicStatic) ClassName(core.QueueClass) string                { return "q" }
+func (c *cyclicStatic) Props() core.Props                               { return core.Props{} }
+func (c *cyclicStatic) MaxHops(src, dst int32) int                      { return c.torus.Nodes() }
+func (c *cyclicStatic) Inject(src, dst int32) (core.QueueClass, uint32) { return 0, 0 }
+
+func (c *cyclicStatic) Candidates(node int32, class core.QueueClass, work uint32, dst int32, buf []core.Move) []core.Move {
+	if node == dst {
+		return append(buf, core.Move{Node: node, Port: core.PortInternal, Kind: core.Static, MinFree: 1, Deliver: true})
+	}
+	return append(buf, core.Move{
+		Node: int32(c.torus.Neighbor(int(node), 0)), Port: 0, Kind: core.Static, MinFree: 1,
+	})
+}
+
+func TestVerifierRejectsStaticCycle(t *testing.T) {
+	g, err := Build(&cyclicStatic{torus: topology.NewTorus(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = g.CheckStaticStructure()
+	if err == nil {
+		t.Fatal("static ring certified")
+	}
+	if !strings.Contains(err.Error(), "ring") && !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("unexpected diagnosis: %v", err)
+	}
+	if err := g.CheckStaticAcyclic(); err == nil {
+		t.Fatal("CheckStaticAcyclic missed the ring")
+	}
+}
+
+// noEscape is a hypercube scheme whose packets, once every remaining
+// correction is 1->0, are offered only *dynamic* moves: the Section 2
+// escape condition is violated even though every individual move is fine.
+type noEscape struct{ cube *topology.Hypercube }
+
+func (n *noEscape) Name() string                                    { return "broken-no-escape" }
+func (n *noEscape) Topology() topology.Topology                     { return n.cube }
+func (n *noEscape) NumClasses() int                                 { return 1 }
+func (n *noEscape) ClassName(core.QueueClass) string                { return "q" }
+func (n *noEscape) Props() core.Props                               { return core.Props{} }
+func (n *noEscape) MaxHops(src, dst int32) int                      { return n.cube.Dims() }
+func (n *noEscape) Inject(src, dst int32) (core.QueueClass, uint32) { return 0, 0 }
+
+func (n *noEscape) Candidates(node int32, class core.QueueClass, work uint32, dst int32, buf []core.Move) []core.Move {
+	if node == dst {
+		return append(buf, core.Move{Node: node, Port: core.PortInternal, Kind: core.Static, MinFree: 1, Deliver: true})
+	}
+	diff := uint32(node ^ dst)
+	for d := diff; d != 0; d &= d - 1 {
+		t := trailing(d)
+		kind := core.Static
+		if node&(1<<t) != 0 {
+			kind = core.Dynamic // all 1->0 fixes dynamic, no static fallback
+		}
+		buf = append(buf, core.Move{Node: node ^ 1<<t, Port: int16(t), Kind: kind, MinFree: 1})
+	}
+	return buf
+}
+
+func trailing(v uint32) int {
+	t := 0
+	for v&1 == 0 {
+		v >>= 1
+		t++
+	}
+	return t
+}
+
+func TestVerifierRejectsMissingEscape(t *testing.T) {
+	g, err := Build(&noEscape{cube: topology.NewHypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A state with only 1->0 corrections has no static candidate at all:
+	// both the one-step escape check and the static-progress closure must
+	// reject the scheme.
+	if err := g.CheckDynamicEscape(); err == nil {
+		t.Error("CheckDynamicEscape accepted a scheme with dynamic-only states")
+	}
+	if err := g.CheckStaticProgress(); err == nil {
+		t.Error("CheckStaticProgress accepted a scheme with dynamic-only states")
+	}
+	if err := g.Verify(); err == nil {
+		t.Error("Verify accepted the broken scheme")
+	}
+}
+
+// trapDoor reaches the destination statically from injection states but
+// strands the states that only dynamic links create: from the "wrong side"
+// queue the only static option loops between two helper classes that never
+// deliver. CheckDynamicEscape (one step) passes — the trap has a static
+// move — but CheckStaticProgress must catch it.
+type trapDoor struct{ cube *topology.Hypercube }
+
+func (tr *trapDoor) Name() string                                    { return "broken-trap-door" }
+func (tr *trapDoor) Topology() topology.Topology                     { return tr.cube }
+func (tr *trapDoor) NumClasses() int                                 { return 2 }
+func (tr *trapDoor) ClassName(c core.QueueClass) string              { return [...]string{"main", "trap"}[c] }
+func (tr *trapDoor) Props() core.Props                               { return core.Props{} }
+func (tr *trapDoor) MaxHops(src, dst int32) int                      { return 4 * tr.cube.Dims() }
+func (tr *trapDoor) Inject(src, dst int32) (core.QueueClass, uint32) { return 0, 0 }
+
+func (tr *trapDoor) Candidates(node int32, class core.QueueClass, work uint32, dst int32, buf []core.Move) []core.Move {
+	if class == 1 {
+		// The trap: a static self-spin that advances bookkeeping forever
+		// without ever delivering (work flips to dodge in-place detection
+		// being meaningless here: it is still the same queue).
+		return append(buf, core.Move{
+			Node: node ^ 1, Port: 0, Class: 1, Kind: core.Static, MinFree: 1, Work: work ^ 1,
+		})
+	}
+	if node == dst {
+		return append(buf, core.Move{Node: node, Port: core.PortInternal, Kind: core.Static, MinFree: 1, Deliver: true})
+	}
+	t := trailing(uint32(node ^ dst))
+	buf = append(buf, core.Move{Node: node ^ 1<<t, Port: int16(t), Class: 0, Kind: core.Static, MinFree: 1})
+	// The dynamic door into the trap.
+	return append(buf, core.Move{Node: node ^ 1, Port: 0, Class: 1, Kind: core.Dynamic, MinFree: 1})
+}
+
+func TestVerifierRejectsTrapDoor(t *testing.T) {
+	g, err := Build(&trapDoor{cube: topology.NewHypercube(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckDynamicEscape(); err != nil {
+		t.Fatalf("one-step escape unexpectedly failed (the trap has static moves): %v", err)
+	}
+	if err := g.CheckStaticProgress(); err == nil {
+		t.Error("CheckStaticProgress accepted a scheme whose dynamic states never deliver")
+	}
+}

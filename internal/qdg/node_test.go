@@ -1,0 +1,85 @@
+package qdg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestHypercubeNodeDesign pins down the Figure 4 buffer structure on the
+// 4-cube: at any node, a link in the 0->1 direction (the bit is 0) carries
+// qA traffic plus the q_B traffic of packets doing their last correction,
+// while a link in the 1->0 direction carries dynamic traffic plus qB.
+func TestHypercubeNodeDesign(t *testing.T) {
+	a := core.NewHypercubeAdaptive(4)
+	const node = 0b0101
+	d, err := DescribeNode(a, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		out, ok := d.OutBuffers[p]
+		if !ok {
+			t.Errorf("port %d has no output buffers", p)
+			continue
+		}
+		got := strings.Join(out, ",")
+		if node&(1<<p) == 0 { // 0->1 direction: ascending
+			if got != "qA,qB" {
+				t.Errorf("ascending port %d buffers = %s, want qA,qB", p, got)
+			}
+		} else { // 1->0 direction: dynamic + phase B
+			if got != "dynamic,qB" {
+				t.Errorf("descending port %d buffers = %s, want dynamic,qB", p, got)
+			}
+		}
+	}
+	// Every link is paired: 4 inbound links with buffers too.
+	if len(d.InBuffers) != 4 {
+		t.Errorf("inbound link count = %d, want 4", len(d.InBuffers))
+	}
+	s := d.String()
+	for _, want := range []string{"hypercube-adaptive", "2 central queues", "qA", "qB", "injection + delivery"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestShuffleNodeDesign checks the Figure 6 structure: the shuffle link
+// carries the four phase/channel queues' static traffic, the exchange link
+// carries phase-entry traffic plus the dynamic 1->0 corrections. The probed
+// node has bit 0 set: only such nodes originate the dynamic 1->0 exchange.
+func TestShuffleNodeDesign(t *testing.T) {
+	a := core.NewShuffleExchangeAdaptive(4)
+	d, err := DescribeNode(a, 0b0111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffleOut := strings.Join(d.OutBuffers[0], ",")
+	if !strings.Contains(shuffleOut, "p1c0") || strings.Contains(shuffleOut, "dynamic") {
+		t.Errorf("shuffle port buffers = %s; want phase queues, no dynamic", shuffleOut)
+	}
+	exchOut := strings.Join(d.OutBuffers[1], ",")
+	if !strings.Contains(exchOut, "dynamic") {
+		t.Errorf("exchange port buffers = %s; want a dynamic buffer", exchOut)
+	}
+}
+
+// TestMeshBorderNodeDesign: a mesh corner only has two connected ports.
+func TestMeshBorderNodeDesign(t *testing.T) {
+	a := core.NewMeshAdaptive(3, 3)
+	d, err := DescribeNode(a, 0) // corner (0,0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.OutBuffers) != 2 {
+		t.Errorf("corner node has %d outbound link-buffer sets, want 2", len(d.OutBuffers))
+	}
+	for p := range d.OutBuffers {
+		if p != 0 && p != 2 { // +x and +y only
+			t.Errorf("corner node uses unexpected port %d", p)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package qdg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// verifiedAlgorithms are the algorithm instances whose deadlock-freedom
+// structure the QDG checker must certify. Sizes are chosen to include the
+// interesting corner cases: hypercube n=3 (the paper's Figure 1), meshes
+// with unequal sides, shuffle-exchange n=4 (which contains the degenerate
+// cycles 0101/1010 and the two rotation fixed points) and tori with both
+// odd and even sides (even sides exercise direction ties).
+func verifiedAlgorithms() []core.Algorithm {
+	return []core.Algorithm{
+		core.NewHypercubeAdaptive(2),
+		core.NewHypercubeAdaptive(3),
+		core.NewHypercubeAdaptive(4),
+		core.NewHypercubeHung(3),
+		core.NewHypercubeHung(4),
+		core.NewHypercubeECube(3),
+		core.NewHypercubeECube(4),
+		core.NewMeshAdaptive(3, 3),
+		core.NewMeshAdaptive(4, 4),
+		core.NewMeshAdaptive(2, 5),
+		core.NewMeshAdaptive(3, 3, 2),
+		core.NewMeshTwoPhase(3, 3),
+		core.NewMeshTwoPhase(4, 4),
+		core.NewMeshXY(3, 3),
+		core.NewMeshXY(4, 4),
+		core.NewShuffleExchangeAdaptive(2),
+		core.NewShuffleExchangeAdaptive(3),
+		core.NewShuffleExchangeAdaptive(4),
+		core.NewShuffleExchangeStatic(3),
+		core.NewShuffleExchangeStatic(4),
+		core.NewShuffleExchangeEager(4),
+		core.NewShuffleExchangeEager(6),
+		core.NewCCCAdaptive(2),
+		core.NewCCCAdaptive(3),
+		core.NewCCCAdaptive(4),
+		core.NewCCCStatic(3),
+		core.NewTorusAdaptive(3, 3),
+		core.NewTorusAdaptive(4, 4),
+		core.NewTorusAdaptive(5, 3),
+		core.NewTorusAdaptive(3, 3, 3),
+	}
+}
+
+// TestVerifyAll is the central deadlock-freedom certification: for every
+// algorithm the static QDG must be acyclic, guarded edges must stay within
+// one queue class, and every dynamic move must retain a static escape.
+func TestVerifyAll(t *testing.T) {
+	for _, a := range verifiedAlgorithms() {
+		a := a
+		t.Run(a.Name()+"/"+a.Topology().Name(), func(t *testing.T) {
+			g, err := Build(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDynamicLinksCloseCycles checks the adaptive schemes genuinely live in
+// the "dynamically acyclic" regime: with dynamic links included the QDG has
+// cycles, which is the whole point of the paper's Section 2 machinery.
+func TestDynamicLinksCloseCycles(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeAdaptive(3),
+		core.NewMeshAdaptive(3, 3),
+		core.NewShuffleExchangeAdaptive(3),
+		core.NewCCCAdaptive(3),
+	} {
+		g, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Dynamic) == 0 {
+			t.Errorf("%s: no dynamic edges found", a.Name())
+		}
+		if !g.HasCycleWithDynamic() {
+			t.Errorf("%s: dynamic links close no cycle; the scheme is degenerate", a.Name())
+		}
+	}
+}
+
+// TestStaticSchemesHaveNoDynamicEdges pins the ablation baselines down.
+func TestStaticSchemesHaveNoDynamicEdges(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeHung(4),
+		core.NewHypercubeECube(4),
+		core.NewMeshTwoPhase(4, 4),
+		core.NewMeshXY(4, 4),
+		core.NewShuffleExchangeStatic(4),
+	} {
+		g, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Dynamic) != 0 {
+			t.Errorf("%s: unexpected dynamic edges: %d", a.Name(), len(g.Dynamic))
+		}
+	}
+}
+
+// TestHypercubeLevels verifies the Section 2 level structure on the
+// 3-hypercube hung from 000 (Figure 1): static qA edges ascend one level per
+// hop, and dynamic edges never ascend (the paper's Level(q) >= Level(q')
+// convention for dynamic links).
+func TestHypercubeLevels(t *testing.T) {
+	a := core.NewHypercubeAdaptive(3)
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range g.Static {
+		if levels[e.To] <= levels[e.From] {
+			t.Errorf("static edge %s -> %s does not ascend levels (%d -> %d)",
+				g.QueueName(e.From), g.QueueName(e.To), levels[e.From], levels[e.To])
+		}
+	}
+	for e := range g.Dynamic {
+		if levels[e.To] > levels[e.From] {
+			t.Errorf("dynamic edge %s -> %s ascends levels (%d -> %d)",
+				g.QueueName(e.From), g.QueueName(e.To), levels[e.From], levels[e.To])
+		}
+	}
+	// qB at node 111 (all ones) sits at the bottom of the hung cube: three
+	// static hops below the highest injection point.
+	if got := levels[Queue{Node: 7, Class: 1}]; got != 3 {
+		t.Errorf("level(qB@111) = %d, want 3", got)
+	}
+}
+
+// TestHypercubeQDGShape checks Figure 1's edge structure quantitatively on
+// the 3-cube: each qA has static edges to qA of higher-weight neighbors,
+// dynamic edges to qA of lower-weight neighbors, one internal edge to its
+// own qB, and qB descends statically.
+func TestHypercubeQDGShape(t *testing.T) {
+	a := core.NewHypercubeAdaptive(3)
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 queues per node, except qA at node 111: a packet performing its last
+	// 0->1 correction enters q_B directly on arrival, so the top node's qA
+	// is never occupied.
+	if len(g.Queues) != 15 {
+		t.Fatalf("queue count = %d, want 15", len(g.Queues))
+	}
+	for _, q := range g.Queues {
+		if q.Node == 7 && q.Class == 0 {
+			t.Error("qA@111 is reachable; the phase fold is broken")
+		}
+	}
+	weight := func(u int32) int {
+		w := 0
+		for v := u; v != 0; v &= v - 1 {
+			w++
+		}
+		return w
+	}
+	for e := range g.Static {
+		switch {
+		case e.From.Class == 0 && e.To.Class == 0: // qA -> qA ascends weight
+			if weight(e.To.Node) != weight(e.From.Node)+1 {
+				t.Errorf("static qA edge %d->%d does not ascend Hamming weight", e.From.Node, e.To.Node)
+			}
+		case e.From.Class == 0 && e.To.Class == 1:
+			// Last 0->1 correction: one ascending hop straight into q_B.
+			if weight(e.To.Node) != weight(e.From.Node)+1 {
+				t.Errorf("phase-fold edge %d->%d does not ascend Hamming weight", e.From.Node, e.To.Node)
+			}
+		case e.From.Class == 1 && e.To.Class == 1: // qB -> qB descends weight
+			if weight(e.To.Node) != weight(e.From.Node)-1 {
+				t.Errorf("static qB edge %d->%d does not descend Hamming weight", e.From.Node, e.To.Node)
+			}
+		default:
+			t.Errorf("unexpected static edge %v", e)
+		}
+	}
+	for e := range g.Dynamic {
+		if e.From.Class != 0 || e.To.Class != 0 || weight(e.To.Node) != weight(e.From.Node)-1 {
+			t.Errorf("unexpected dynamic edge %v", e)
+		}
+	}
+	// Every qA with weight < 3 has at least one outgoing static qA edge; the
+	// 3-cube's 8 nodes all have both queues reachable.
+	if len(g.Static) == 0 || len(g.Dynamic) == 0 {
+		t.Fatal("edge sets unexpectedly empty")
+	}
+}
+
+// TestShuffleGuardedEdgesOnlyOnDegenerateCycles: at n=3 every cycle has full
+// length (no periodic addresses except the fixed points, whose shuffle steps
+// are internal), so no guarded edge should appear; at n=4 the 0101/1010
+// cycle needs the bubble guard.
+func TestShuffleGuardedEdgesOnlyOnDegenerateCycles(t *testing.T) {
+	g3, err := Build(core.NewShuffleExchangeAdaptive(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g3.Guarded) != 0 {
+		t.Errorf("n=3: unexpected guarded edges: %d", len(g3.Guarded))
+	}
+	g4, err := Build(core.NewShuffleExchangeAdaptive(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g4.Guarded) == 0 {
+		t.Errorf("n=4: expected guarded edges on the degenerate 0101 cycle")
+	}
+	// Guarded edges are ring entries: channel 0 -> channel 1 of some phase.
+	for e := range g4.Guarded {
+		if e.From.Class+1 != e.To.Class || e.To.Class%2 != 1 {
+			t.Errorf("guarded edge is not a c0->c1 ring entry: %v", e)
+		}
+	}
+	// The static graph of n=4 must NOT be acyclic (the 0101 channel-1 ring),
+	// yet the structural certification must pass.
+	if err := g4.CheckStaticAcyclic(); err == nil {
+		t.Error("n=4: expected a static cycle on the degenerate channel-1 ring")
+	}
+	if err := g4.CheckStaticStructure(); err != nil {
+		t.Errorf("n=4: structure certification failed: %v", err)
+	}
+}
+
+// TestWriteDOT smoke-tests the Figure 1-3 exports.
+func TestWriteDOT(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeAdaptive(3),       // Figure 1
+		core.NewMeshAdaptive(3, 3),         // Figure 2
+		core.NewShuffleExchangeAdaptive(3), // Figure 3
+	} {
+		g, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := g.WriteDOT(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		for _, want := range []string{"digraph", "style=solid", "style=dashed", "subgraph cluster_n0"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: DOT output missing %q", a.Name(), want)
+			}
+		}
+	}
+}
+
+// TestBuildDeterministic ensures two builds of the same algorithm agree,
+// protecting the DOT goldens and the checker against map-iteration leaks.
+func TestBuildDeterministic(t *testing.T) {
+	a := core.NewMeshAdaptive(3, 3)
+	g1, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 strings.Builder
+	if err := g1.WriteDOT(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.WriteDOT(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("DOT output differs between two identical builds")
+	}
+}

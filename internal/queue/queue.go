@@ -1,0 +1,116 @@
+// Package queue provides the bounded FIFO packet queues used by the routing
+// nodes. The critical resources of packet routing are exactly these queues
+// (Section 2 of the paper), so their semantics are kept deliberately strict:
+// fixed capacity, FIFO arrival order, and removal either from the head or
+// from an arbitrary position (the node model lets a message behind a blocked
+// head depart first when it wants a different output buffer, while "the
+// first one in the queue in FIFO order" wins any contended buffer).
+package queue
+
+import "fmt"
+
+// FIFO is a bounded first-in first-out queue of values of type T backed by a
+// ring buffer. The zero value is unusable; use New.
+type FIFO[T any] struct {
+	buf   []T
+	head  int // index of the oldest element
+	count int
+}
+
+// New returns an empty FIFO with the given fixed capacity (cap >= 1).
+func New[T any](capacity int) *FIFO[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("queue: capacity must be >= 1, got %d", capacity))
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the fixed capacity.
+func (q *FIFO[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued elements.
+func (q *FIFO[T]) Len() int { return q.count }
+
+// Free returns the number of free slots.
+func (q *FIFO[T]) Free() int { return len(q.buf) - q.count }
+
+// Full reports whether no free slot remains.
+func (q *FIFO[T]) Full() bool { return q.count == len(q.buf) }
+
+// Empty reports whether the queue holds no elements.
+func (q *FIFO[T]) Empty() bool { return q.count == 0 }
+
+// Push appends v at the tail. It reports false (and does not modify the
+// queue) if the queue is full.
+func (q *FIFO[T]) Push(v T) bool {
+	if q.count == len(q.buf) {
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	return true
+}
+
+// Pop removes and returns the head element. It reports false on an empty
+// queue.
+func (q *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v, true
+}
+
+// At returns the i-th element in FIFO order (0 is the head). It panics if i
+// is out of range.
+func (q *FIFO[T]) At(i int) T {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Remove deletes the i-th element in FIFO order and returns it, preserving
+// the relative order of the remaining elements. It panics if i is out of
+// range. Capacity is tiny in practice (the paper fixes it at 5), so the
+// O(len) shift is irrelevant.
+func (q *FIFO[T]) Remove(i int) T {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
+	}
+	v := q.At(i)
+	var zero T
+	for j := i; j > 0; j-- {
+		dst := (q.head + j) % len(q.buf)
+		src := (q.head + j - 1) % len(q.buf)
+		q.buf[dst] = q.buf[src]
+	}
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v
+}
+
+// Set replaces the i-th element in FIFO order (0 is the head) in place. It
+// panics if i is out of range. The node model uses it for self-spinning
+// moves (shuffle steps at rotation fixed points) that advance a packet's
+// bookkeeping without relocating it.
+func (q *FIFO[T]) Set(i int, v T) {
+	if i < 0 || i >= q.count {
+		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
+	}
+	q.buf[(q.head+i)%len(q.buf)] = v
+}
+
+// Clear removes all elements.
+func (q *FIFO[T]) Clear() {
+	var zero T
+	for i := 0; i < q.count; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.count = 0, 0
+}

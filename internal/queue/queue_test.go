@@ -1,0 +1,196 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	q := New[int](3)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatal("Push succeeded on a full queue")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop succeeded on an empty queue")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	q := New[int](2)
+	for round := 0; round < 10; round++ {
+		if !q.Push(round) || !q.Push(round+100) {
+			t.Fatal("push failed")
+		}
+		if v, _ := q.Pop(); v != round {
+			t.Fatalf("round %d: got %d", round, v)
+		}
+		if v, _ := q.Pop(); v != round+100 {
+			t.Fatalf("round %d: got %d", round, v)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	q := New[string](4)
+	q.Push("a")
+	q.Push("b")
+	q.Pop() // advance head so the ring wraps
+	q.Push("c")
+	q.Push("d")
+	q.Push("e")
+	want := []string{"b", "c", "d", "e"}
+	for i, w := range want {
+		if got := q.At(i); got != w {
+			t.Errorf("At(%d) = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	q := New[int](5)
+	q.Push(0) // force wraparound
+	q.Pop()
+	for i := 1; i <= 5; i++ {
+		q.Push(i)
+	}
+	if got := q.Remove(2); got != 3 {
+		t.Fatalf("Remove(2) = %d, want 3", got)
+	}
+	want := []int{1, 2, 4, 5}
+	if q.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := q.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRemoveHeadAndTail(t *testing.T) {
+	q := New[int](3)
+	q.Push(10)
+	q.Push(20)
+	q.Push(30)
+	if got := q.Remove(0); got != 10 {
+		t.Fatalf("Remove(0) = %d", got)
+	}
+	if got := q.Remove(q.Len() - 1); got != 30 {
+		t.Fatalf("Remove(tail) = %d", got)
+	}
+	if v, _ := q.Pop(); v != 20 {
+		t.Fatalf("Pop = %d, want 20", v)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	q := New[int](4)
+	if !q.Empty() || q.Full() || q.Free() != 4 || q.Cap() != 4 {
+		t.Fatal("fresh queue counters wrong")
+	}
+	q.Push(1)
+	q.Push(2)
+	if q.Len() != 2 || q.Free() != 2 || q.Empty() || q.Full() {
+		t.Fatal("counters wrong after 2 pushes")
+	}
+	q.Push(3)
+	q.Push(4)
+	if !q.Full() || q.Free() != 0 {
+		t.Fatal("counters wrong when full")
+	}
+	q.Clear()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("Clear did not empty the queue")
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	q := New[int](2)
+	q.Push(1)
+	for _, i := range []int{-1, 1, 2} {
+		func(i int) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			q.At(i)
+		}(i)
+	}
+}
+
+func TestPanicsOnZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+// TestQuickModel drives the FIFO with random operation sequences and checks
+// it against a plain-slice model.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint8, capacity uint8) bool {
+		c := int(capacity%7) + 1
+		q := New[int](c)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				ok := q.Push(next)
+				if ok != (len(model) < c) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 2: // remove at pseudo-random index
+				if len(model) == 0 {
+					continue
+				}
+				i := int(op) % len(model)
+				if q.Remove(i) != model[i] {
+					return false
+				}
+				model = append(model[:i:i], model[i+1:]...)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			for i, w := range model {
+				if q.At(i) != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

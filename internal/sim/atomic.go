@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// AtomicEngine is the abstract store-and-forward model of Section 2: the
+// greedy Route(q) procedure applied directly to the central queues, with no
+// link buffers. Each cycle every queue may advance its head packet into one
+// admissible target queue (checked and applied atomically, so MinFree-based
+// bubble conditions are exact by construction), every node may accept one
+// injected packet, and deliveries are immediate.
+//
+// It is the reference semantics for deadlock-freedom studies and for quick
+// algorithm comparisons; the buffered Engine is the one that reproduces the
+// paper's latency tables.
+type AtomicEngine struct {
+	cfg     Config
+	algo    core.Algorithm
+	topo    topology.Topology
+	nodes   int
+	classes int
+
+	queues []*queue.FIFO[core.Packet]
+	injQ   []slot
+	rngs   []xrand.RNG
+	nextID []int64
+	active []bool
+	headID []int64 // per-queue head snapshot: one move per packet per cycle
+}
+
+// NewAtomicEngine builds an atomic engine for the configuration. Workers is
+// ignored: atomic semantics are inherently sequential.
+func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	a := cfg.Algorithm
+	t := a.Topology()
+	e := &AtomicEngine{
+		cfg:     cfg,
+		algo:    a,
+		topo:    t,
+		nodes:   t.Nodes(),
+		classes: a.NumClasses(),
+	}
+	e.queues = make([]*queue.FIFO[core.Packet], e.nodes*e.classes)
+	for i := range e.queues {
+		e.queues[i] = queue.New[core.Packet](cfg.QueueCap)
+	}
+	e.injQ = make([]slot, e.nodes)
+	e.rngs = make([]xrand.RNG, e.nodes)
+	e.nextID = make([]int64, e.nodes)
+	e.active = make([]bool, e.nodes)
+	e.headID = make([]int64, len(e.queues))
+	e.reset()
+	return e, nil
+}
+
+func (e *AtomicEngine) reset() {
+	for _, q := range e.queues {
+		q.Clear()
+	}
+	for u := 0; u < e.nodes; u++ {
+		e.injQ[u] = slot{}
+		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
+		e.nextID[u] = int64(u) << 36
+		e.active[u] = true
+	}
+}
+
+func (e *AtomicEngine) queueAt(node int32, class core.QueueClass) *queue.FIFO[core.Packet] {
+	return e.queues[int(node)*e.classes+int(class)]
+}
+
+// RunStatic simulates until the finite traffic of src has drained.
+func (e *AtomicEngine) RunStatic(src TrafficSource, maxCycles int64) (Metrics, error) {
+	return e.run(src, runWindow{0, -1}, 0, maxCycles, true)
+}
+
+// RunDynamic simulates warmup+measure cycles of dynamic injection.
+func (e *AtomicEngine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, error) {
+	return e.run(src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+}
+
+func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (Metrics, error) {
+	e.reset()
+	var m Metrics
+	var st cycleStats
+	var cand [64]core.Move
+	var adm [64]int
+	idle := 0
+	eng := Engine{cfg: e.cfg} // borrow choose()
+
+	for cycle := int64(0); ; cycle++ {
+		if stopAt > 0 && cycle >= stopAt {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return m, nil
+		}
+		if maxCycles > 0 && cycle > maxCycles {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return m, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+				e.algo.Name(), maxCycles, m.InFlight)
+		}
+		prevMoves := m.Moves
+
+		// Injection attempts.
+		for u := int32(0); int(u) < e.nodes; u++ {
+			if !e.active[u] {
+				continue
+			}
+			if src.Exhausted(u) {
+				e.active[u] = false
+				continue
+			}
+			if !src.Wants(u, cycle) {
+				continue
+			}
+			if win.contains(cycle) {
+				st.attempts++
+			}
+			if e.injQ[u].full {
+				continue
+			}
+			dst := src.Take(u, cycle)
+			class, work := e.algo.Inject(u, dst)
+			e.nextID[u]++
+			e.injQ[u] = slot{
+				pkt: core.Packet{
+					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+					Class: class, MinFree: 1, Work: work,
+				},
+				full: true,
+			}
+			st.injected++
+			if win.contains(cycle) {
+				st.successes++
+			}
+		}
+
+		// Snapshot the head of every queue: a packet may advance at most
+		// once per cycle, even if it lands in a queue processed later.
+		for i, q := range e.queues {
+			if q.Empty() {
+				e.headID[i] = 0
+			} else {
+				e.headID[i] = q.At(0).ID
+			}
+		}
+
+		// Drain injection queues into central queues (one hop of the model).
+		for u := int32(0); int(u) < e.nodes; u++ {
+			sl := &e.injQ[u]
+			if !sl.full {
+				continue
+			}
+			if sl.pkt.Dst == u {
+				e.deliverAtomic(sl.pkt, cycle, win, &st)
+				sl.full = false
+				continue
+			}
+			q := e.queueAt(u, sl.pkt.Class)
+			if q.Free() >= 1 {
+				sl.pkt.InjectedAt = cycle // latency runs from network entry
+				q.Push(sl.pkt)
+				if l := q.Len(); l > st.maxQueue {
+					st.maxQueue = l
+				}
+				sl.full = false
+				st.moves++
+			}
+		}
+
+		// Route(q) for every queue: advance the head packet if possible.
+		for u := int32(0); int(u) < e.nodes; u++ {
+			r := &e.rngs[u]
+			for c := 0; c < e.classes; c++ {
+				qi := int(u)*e.classes + c
+				q := e.queues[qi]
+				if q.Empty() || q.At(0).ID != e.headID[qi] {
+					continue
+				}
+				pkt := q.At(0)
+				moves := e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, cand[:0])
+				nAdm := 0
+				for i, mv := range moves {
+					if e.admissible(u, core.QueueClass(c), mv) {
+						adm[nAdm] = i
+						nAdm++
+					}
+				}
+				if nAdm == 0 {
+					continue
+				}
+				mv := moves[eng.choose(r, moves, adm[:nAdm])]
+				switch {
+				case mv.Deliver:
+					pkt, _ = q.Pop()
+					e.deliverAtomic(pkt, cycle, win, &st)
+				case mv.Node == u && mv.Class == core.QueueClass(c) && mv.Port == core.PortInternal:
+					pkt.Work = mv.Work
+					q.Set(0, pkt)
+					st.moves++
+				default:
+					pkt, _ = q.Pop()
+					if mv.Port != core.PortInternal {
+						pkt.Hops++
+					}
+					pkt.Class = mv.Class
+					pkt.Work = mv.Work
+					q2 := e.queueAt(mv.Node, mv.Class)
+					q2.Push(pkt)
+					if l := q2.Len(); l > st.maxQueue {
+						st.maxQueue = l
+					}
+					st.moves++
+					if mv.Kind == core.Dynamic {
+						st.dynamicMoves++
+					}
+				}
+			}
+		}
+
+		m.Moves += st.moves
+		m.DynamicMoves += st.dynamicMoves
+		m.Injected += st.injected
+		m.Delivered += st.delivered
+		m.Attempts += st.attempts
+		m.Successes += st.successes
+		m.LatencySum += st.latencySum
+		m.Measured += st.measured
+		if st.latencyMax > m.LatencyMax {
+			m.LatencyMax = st.latencyMax
+		}
+		if st.maxQueue > m.MaxQueue {
+			m.MaxQueue = st.maxQueue
+		}
+		st = cycleStats{}
+		m.Cycles = cycle + 1
+		m.InFlight = m.Injected - m.Delivered
+		if e.cfg.OnCycle != nil {
+			e.cfg.OnCycle(cycle)
+		}
+
+		if drain && m.InFlight == 0 && e.allExhausted(src) {
+			return m, nil
+		}
+		if m.Moves == prevMoves && m.InFlight > 0 {
+			idle++
+			if idle >= e.cfg.DeadlockWindow {
+				return m, &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+func (e *AtomicEngine) allExhausted(src TrafficSource) bool {
+	for u := 0; u < e.nodes; u++ {
+		if e.active[u] {
+			if !src.Exhausted(int32(u)) {
+				return false
+			}
+			e.active[u] = false
+		}
+	}
+	return true
+}
+
+// admissible implements the atomic model's check: a move may be taken iff
+// the target queue has MinFree free slots right now (deliveries and
+// in-place moves are always admissible).
+func (e *AtomicEngine) admissible(u int32, class core.QueueClass, mv core.Move) bool {
+	switch {
+	case mv.Deliver:
+		return true
+	case mv.Node == u && mv.Class == class && mv.Port == core.PortInternal:
+		return true
+	default:
+		required := int(mv.MinFree)
+		// In the atomic model nothing is ever in flight, so a credited
+		// move's condition reduces to requiring Credit free slots.
+		if int(mv.Credit) > required {
+			required = int(mv.Credit)
+		}
+		return e.queueAt(mv.Node, mv.Class).Free() >= required
+	}
+}
+
+func (e *AtomicEngine) deliverAtomic(pkt core.Packet, cycle int64, win runWindow, st *cycleStats) {
+	if !e.cfg.DisableInvariantChecks {
+		bound := e.algo.MaxHops(pkt.Src, pkt.Dst)
+		if int(pkt.Hops) > bound {
+			panic(fmt.Sprintf("sim: %s: packet %d took %d hops from %d to %d, bound %d",
+				e.algo.Name(), pkt.ID, pkt.Hops, pkt.Src, pkt.Dst, bound))
+		}
+		if e.algo.Props().Minimal && int(pkt.Hops) != bound {
+			panic(fmt.Sprintf("sim: %s: minimal algorithm delivered packet %d in %d hops, distance %d",
+				e.algo.Name(), pkt.ID, pkt.Hops, bound))
+		}
+	}
+	st.delivered++
+	st.moves++
+	lat := cycle - pkt.InjectedAt + 1
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(pkt, lat)
+	}
+	if win.contains(cycle) {
+		st.latencySum += lat
+		st.measured++
+		if lat > st.latencyMax {
+			st.latencyMax = lat
+		}
+	}
+}

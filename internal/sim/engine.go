@@ -1,0 +1,740 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/topology"
+	"repro/internal/xrand"
+)
+
+// slot is a single-packet link buffer (input or output).
+type slot struct {
+	pkt  core.Packet
+	kind core.LinkKind // kind of the transition the packet is taking
+	full bool
+}
+
+// Engine is the buffered cycle-accurate simulator of Sections 6 and 7.1.
+//
+// Every directed link (u, port) carries bufClasses = NumClasses+1 output
+// buffers at u and the matching input buffers at the far end: one buffer per
+// static target queue plus one shared buffer for dynamic transitions,
+// exactly the node designs of Figures 4-6. One routing cycle is:
+//
+//	injection: each node draws from the traffic source into its (size-1)
+//	           injection queue;
+//	node  (a): each node moves packets from its central queues into free
+//	           output buffers / internal targets, scanning packets in FIFO
+//	           order so the first message in FIFO order wins a contended
+//	           buffer;
+//	node  (b): each node drains its input buffers and injection queue into
+//	           the central queues under a rotating fair order, consuming
+//	           packets that arrived at their destination;
+//	link:      each directed link transfers at most one packet, choosing
+//	           among its occupied output buffers under a rotating fair
+//	           order, and only into an empty input buffer.
+type Engine struct {
+	cfg        Config
+	algo       core.Algorithm
+	topo       topology.Topology
+	nodes      int
+	ports      int
+	classes    int
+	bufClasses int
+
+	queues  []*queue.FIFO[core.Packet] // [node*classes + class]
+	occ     []int32                    // atomic occupancy mirror of queues
+	inbound []int32                    // committed-but-not-delivered packets per queue (credit accounting)
+	injQ    []slot                     // per-node injection queue (size 1)
+	outSlot []slot                     // [(node*ports+port)*bufClasses + bc]
+	inSlot  []slot                     // same index: input buffer at the far end
+	// incomingSlots[v] lists, in deterministic order, the inSlot indices
+	// that deliver packets into v (all buffer classes of all inbound links).
+	incomingSlots [][]int32
+	linkRR        []uint32 // per directed link: buffer-class rotation
+	nodeRR        []uint32 // per node: input-drain rotation
+	rngs          []xrand.RNG
+	nextID        []int64 // per-node packet id counters (determinism)
+
+	active []bool // per node: traffic source not yet exhausted
+
+	workers  int
+	statsBuf []cycleStats // one per worker
+	scratch  []workerScratch
+}
+
+// workerScratch holds per-worker reusable buffers so the hot loop does not
+// allocate.
+type workerScratch struct {
+	cand []core.Move
+	adm  []int
+}
+
+// cycleStats accumulates per-worker, per-cycle observations that are merged
+// into Metrics after each phase barrier.
+type cycleStats struct {
+	moves        int64
+	dynamicMoves int64
+	injected     int64
+	delivered    int64
+	attempts     int64
+	successes    int64
+	latencySum   int64
+	latencyMax   int64
+	measured     int64
+	maxQueue     int
+	_            [40]byte // pad to avoid false sharing between workers
+}
+
+// NewEngine builds a buffered engine for the given configuration.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	a := cfg.Algorithm
+	if a.Props().AtomicOnly {
+		return nil, fmt.Errorf("sim: algorithm %s requires the atomic engine", a.Name())
+	}
+	t := a.Topology()
+	e := &Engine{
+		cfg:        cfg,
+		algo:       a,
+		topo:       t,
+		nodes:      t.Nodes(),
+		ports:      t.Ports(),
+		classes:    a.NumClasses(),
+		bufClasses: a.NumClasses() + 1,
+		workers:    cfg.Workers,
+	}
+	e.queues = make([]*queue.FIFO[core.Packet], e.nodes*e.classes)
+	for i := range e.queues {
+		e.queues[i] = queue.New[core.Packet](cfg.QueueCap)
+	}
+	e.occ = make([]int32, len(e.queues))
+	e.inbound = make([]int32, len(e.queues))
+	e.injQ = make([]slot, e.nodes)
+	nLinks := e.nodes * e.ports
+	e.outSlot = make([]slot, nLinks*e.bufClasses)
+	e.inSlot = make([]slot, nLinks*e.bufClasses)
+	e.incomingSlots = make([][]int32, e.nodes)
+	for u := 0; u < e.nodes; u++ {
+		for p := 0; p < e.ports; p++ {
+			v := t.Neighbor(u, p)
+			if v == topology.None || v == u {
+				continue
+			}
+			base := (u*e.ports + p) * e.bufClasses
+			for bc := 0; bc < e.bufClasses; bc++ {
+				e.incomingSlots[v] = append(e.incomingSlots[v], int32(base+bc))
+			}
+		}
+	}
+	e.linkRR = make([]uint32, nLinks)
+	e.nodeRR = make([]uint32, e.nodes)
+	e.rngs = make([]xrand.RNG, e.nodes)
+	e.nextID = make([]int64, e.nodes)
+	e.active = make([]bool, e.nodes)
+	e.statsBuf = make([]cycleStats, e.workers)
+	e.scratch = make([]workerScratch, e.workers)
+	for i := range e.scratch {
+		e.scratch[i] = workerScratch{cand: make([]core.Move, 0, 64), adm: make([]int, 64)}
+	}
+	e.reset()
+	return e, nil
+}
+
+func (e *Engine) reset() {
+	for i, q := range e.queues {
+		q.Clear()
+		e.occ[i] = 0
+		e.inbound[i] = 0
+	}
+	for i := range e.injQ {
+		e.injQ[i] = slot{}
+	}
+	for i := range e.outSlot {
+		e.outSlot[i] = slot{}
+	}
+	for i := range e.inSlot {
+		e.inSlot[i] = slot{}
+	}
+	for i := range e.linkRR {
+		e.linkRR[i] = 0
+	}
+	for u := range e.nodeRR {
+		e.nodeRR[u] = 0
+		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
+		e.nextID[u] = int64(u) << 36
+		e.active[u] = true
+	}
+}
+
+// queueAt returns the central queue (node, class).
+func (e *Engine) queueAt(node int32, class core.QueueClass) *queue.FIFO[core.Packet] {
+	return e.queues[int(node)*e.classes+int(class)]
+}
+
+func (e *Engine) queueIndex(node int32, class core.QueueClass) int {
+	return int(node)*e.classes + int(class)
+}
+
+// qPush and qRemove route every central-queue mutation through the atomic
+// occupancy mirror, which credited claims read from other nodes.
+func (e *Engine) qPush(qi int, pkt core.Packet) int {
+	if !e.queues[qi].Push(pkt) {
+		panic("sim: push into a full queue (admissibility bug)")
+	}
+	atomic.AddInt32(&e.occ[qi], 1)
+	return e.queues[qi].Len()
+}
+
+func (e *Engine) qRemove(qi, idx int) core.Packet {
+	pkt := e.queues[qi].Remove(idx)
+	atomic.AddInt32(&e.occ[qi], -1)
+	return pkt
+}
+
+// effectiveFree returns the target queue's capacity minus occupancy minus
+// committed inbound packets. Reads are atomic; during node phase (a) the
+// target's occupancy can only shrink (its owner may pop packets out), so a
+// stale read is conservative.
+func (e *Engine) effectiveFree(qi int) int32 {
+	return int32(e.cfg.QueueCap) - atomic.LoadInt32(&e.occ[qi]) - atomic.LoadInt32(&e.inbound[qi])
+}
+
+// tryReserve atomically reserves one inbound slot at queue qi, succeeding
+// only while effectiveFree >= need. Several nodes may race for the same
+// queue under RemoteLookahead; the CAS keeps occupancy+inbound <= capacity,
+// so a reserved packet's eventual push can never find the queue full.
+func (e *Engine) tryReserve(qi int, need int32) bool {
+	for {
+		in := atomic.LoadInt32(&e.inbound[qi])
+		free := int32(e.cfg.QueueCap) - atomic.LoadInt32(&e.occ[qi]) - in
+		if free < need {
+			return false
+		}
+		if atomic.CompareAndSwapInt32(&e.inbound[qi], in, in+1) {
+			return true
+		}
+	}
+}
+
+// runWindow holds the measurement bounds of a run.
+type runWindow struct {
+	start int64 // first cycle whose deliveries/attempts are measured
+	end   int64 // exclusive; <0 means measure to the end of the run
+}
+
+func (w runWindow) contains(cycle int64) bool {
+	return cycle >= w.start && (w.end < 0 || cycle < w.end)
+}
+
+// RunStatic injects the (finite) traffic of src and simulates until every
+// packet has been delivered, returning the full-run metrics. It returns
+// *ErrDeadlock if the watchdog fires and an error if maxCycles (0 = none) is
+// exceeded.
+func (e *Engine) RunStatic(src TrafficSource, maxCycles int64) (Metrics, error) {
+	return e.run(src, runWindow{0, -1}, 0, maxCycles, true)
+}
+
+// RunDynamic simulates warmup+measure cycles of dynamic injection,
+// measuring latency and the effective injection rate over deliveries and
+// attempts that fall in the measurement window.
+func (e *Engine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, error) {
+	return e.run(src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+}
+
+func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (Metrics, error) {
+	e.reset()
+	var m Metrics
+	idle := 0
+	for cycle := int64(0); ; cycle++ {
+		if stopAt > 0 && cycle >= stopAt {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return m, nil
+		}
+		if maxCycles > 0 && cycle > maxCycles {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return m, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+				e.algo.Name(), maxCycles, m.InFlight)
+		}
+
+		prevMoves := m.Moves
+		e.parallel(func(w, lo, hi int) {
+			st := &e.statsBuf[w]
+			for u := lo; u < hi; u++ {
+				e.injectPhase(int32(u), cycle, src, win, st)
+			}
+		})
+		e.merge(&m, win)
+		e.parallel(func(w, lo, hi int) {
+			st := &e.statsBuf[w]
+			sc := &e.scratch[w]
+			for u := lo; u < hi; u++ {
+				e.nodePhaseA(int32(u), cycle, win, st, sc)
+			}
+		})
+		e.merge(&m, win)
+		e.parallel(func(w, lo, hi int) {
+			st := &e.statsBuf[w]
+			for u := lo; u < hi; u++ {
+				e.nodePhaseB(int32(u), cycle, win, st)
+			}
+		})
+		e.merge(&m, win)
+		e.parallel(func(w, lo, hi int) {
+			st := &e.statsBuf[w]
+			for u := lo; u < hi; u++ {
+				e.linkPhase(int32(u), st)
+			}
+		})
+		e.merge(&m, win)
+		m.Cycles = cycle + 1
+		m.InFlight = m.Injected - m.Delivered
+		if e.cfg.OnCycle != nil {
+			e.cfg.OnCycle(cycle)
+		}
+
+		if drain && m.InFlight == 0 && e.allExhausted(src) {
+			return m, nil
+		}
+		if m.Moves == prevMoves && m.InFlight > 0 {
+			idle++
+			if idle >= e.cfg.DeadlockWindow {
+				return m, &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+func (e *Engine) allExhausted(src TrafficSource) bool {
+	for u := 0; u < e.nodes; u++ {
+		if e.active[u] {
+			if !src.Exhausted(int32(u)) {
+				return false
+			}
+			e.active[u] = false
+		}
+	}
+	return true
+}
+
+// parallel runs f over the node range, sharded across the configured number
+// of workers with a barrier at the end. With one worker it runs inline.
+func (e *Engine) parallel(f func(worker, lo, hi int)) {
+	if e.workers <= 1 {
+		f(0, 0, e.nodes)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (e.nodes + e.workers - 1) / e.workers
+	for w := 0; w < e.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > e.nodes {
+			hi = e.nodes
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			f(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// merge folds the per-worker cycle stats into the run metrics.
+func (e *Engine) merge(m *Metrics, win runWindow) {
+	for i := range e.statsBuf {
+		st := &e.statsBuf[i]
+		m.Moves += st.moves
+		m.DynamicMoves += st.dynamicMoves
+		m.Injected += st.injected
+		m.Delivered += st.delivered
+		m.Attempts += st.attempts
+		m.Successes += st.successes
+		m.LatencySum += st.latencySum
+		m.Measured += st.measured
+		if st.latencyMax > m.LatencyMax {
+			m.LatencyMax = st.latencyMax
+		}
+		if st.maxQueue > m.MaxQueue {
+			m.MaxQueue = st.maxQueue
+		}
+		*st = cycleStats{}
+	}
+}
+
+// injectPhase lets node u attempt one injection into its injection queue.
+func (e *Engine) injectPhase(u int32, cycle int64, src TrafficSource, win runWindow, st *cycleStats) {
+	if !e.active[u] {
+		return
+	}
+	if src.Exhausted(u) {
+		e.active[u] = false
+		return
+	}
+	if !src.Wants(u, cycle) {
+		return
+	}
+	if win.contains(cycle) {
+		st.attempts++
+	}
+	if e.injQ[u].full {
+		return // injection queue occupied: the attempt fails
+	}
+	dst := src.Take(u, cycle)
+	class, work := e.algo.Inject(u, dst)
+	e.nextID[u]++
+	e.injQ[u] = slot{
+		pkt: core.Packet{
+			ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+			Class: class, MinFree: 1, Work: work,
+		},
+		kind: core.Static,
+		full: true,
+	}
+	st.injected++
+	if win.contains(cycle) {
+		st.successes++
+	}
+}
+
+// nodePhaseA moves packets from u's central queues into output buffers and
+// internal targets. Packets are scanned in FIFO order per queue (classes in
+// ascending order), so the first packet in FIFO order wins any contended
+// buffer, as Section 7.1 prescribes.
+func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats, sc *workerScratch) {
+	r := &e.rngs[u]
+	// Snapshot the queue lengths so packets moved internally this cycle
+	// (e.g. a phase change into q_B) are not scanned again.
+	var lens [256]int
+	for c := 0; c < e.classes; c++ {
+		lens[c] = e.queueAt(u, core.QueueClass(c)).Len()
+		if e.cfg.HeadOnly && lens[c] > 1 {
+			lens[c] = 1
+		}
+	}
+	// Rotate the class scan order each cycle: several queues can feed the
+	// same output buffer (e.g. a phase-A packet performing its last 0->1
+	// correction and a phase-B packet share the B buffer of a link), and a
+	// fixed scan order would let one class starve the other indefinitely.
+	for off := 0; off < e.classes; off++ {
+		c := off + int(cycle)%e.classes
+		if c >= e.classes {
+			c -= e.classes
+		}
+		q := e.queueAt(u, core.QueueClass(c))
+		idx := 0
+		for scanned := 0; scanned < lens[c]; scanned++ {
+			pkt := q.At(idx)
+			sc.cand = e.algo.Candidates(int32(u), core.QueueClass(c), pkt.Work, pkt.Dst, sc.cand[:0])
+			moves := sc.cand
+			if len(moves) > len(sc.adm) {
+				sc.adm = make([]int, len(moves))
+			}
+			nAdm := 0
+			for i, mv := range moves {
+				if e.admissibleA(u, core.QueueClass(c), mv) {
+					sc.adm[nAdm] = i
+					nAdm++
+				}
+			}
+			if nAdm == 0 {
+				idx++
+				continue
+			}
+			mv := moves[e.choose(r, moves, sc.adm[:nAdm])]
+			qi := e.queueIndex(u, core.QueueClass(c))
+			switch {
+			case mv.Deliver:
+				e.deliver(e.qRemove(qi, idx), cycle, win, st)
+			case mv.Port == core.PortInternal && mv.Node == u && mv.Class == core.QueueClass(c):
+				// Self-spin: advance bookkeeping in place.
+				pkt.Work = mv.Work
+				q.Set(idx, pkt)
+				idx++
+				st.moves++
+			case mv.Port == core.PortInternal:
+				pkt = e.qRemove(qi, idx)
+				pkt.Class = mv.Class
+				pkt.Work = mv.Work
+				pkt.MinFree = 1
+				if l := e.qPush(e.queueIndex(u, mv.Class), pkt); l > st.maxQueue {
+					st.maxQueue = l
+				}
+				st.moves++
+			default:
+				if mv.Credit > 0 {
+					// Credited move: reserve the slot before committing.
+					// The unique upstream claimer makes the CAS a formality,
+					// but it keeps the invariant machine-checked.
+					if !e.tryReserve(e.queueIndex(mv.Node, mv.Class), int32(mv.Credit)) {
+						idx++
+						continue
+					}
+					pkt = e.qRemove(qi, idx)
+					pkt.MinFree = 0 // marks the reservation for the drain
+				} else {
+					pkt = e.qRemove(qi, idx)
+					pkt.MinFree = mv.MinFree
+				}
+				pkt.Class = mv.Class
+				pkt.Work = mv.Work
+				si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
+				e.outSlot[si] = slot{pkt: pkt, kind: mv.Kind, full: true}
+				st.moves++
+				if mv.Kind == core.Dynamic {
+					st.dynamicMoves++
+				}
+			}
+		}
+	}
+}
+
+// admissibleA reports whether a move can be taken during node phase (a):
+// output buffer free for remote moves (plus the credit reservation for
+// credited moves), capacity available for internal ones.
+func (e *Engine) admissibleA(u int32, class core.QueueClass, mv core.Move) bool {
+	switch {
+	case mv.Deliver:
+		return true
+	case mv.Port == core.PortInternal && mv.Node == u && mv.Class == class:
+		return true // in-place
+	case mv.Port == core.PortInternal:
+		// Internal moves must not consume slots reserved by inbound
+		// credited packets.
+		return e.effectiveFree(e.queueIndex(u, mv.Class)) >= int32(mv.MinFree)
+	default:
+		si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
+		if e.outSlot[si].full {
+			return false
+		}
+		if mv.Credit > 0 {
+			return e.effectiveFree(e.queueIndex(mv.Node, mv.Class)) >= int32(mv.Credit)
+		}
+		if e.cfg.RemoteLookahead {
+			// Advisory: only commit toward a queue that currently has room.
+			// No reservation is taken; transient overcommit simply waits in
+			// the link buffers as under plain buffered flow control.
+			qi := e.queueIndex(mv.Node, mv.Class)
+			return atomic.LoadInt32(&e.occ[qi]) < int32(e.cfg.QueueCap)
+		}
+		return true
+	}
+}
+
+// choose applies the configured policy to the admissible move indices.
+func (e *Engine) choose(r *xrand.RNG, moves []core.Move, adm []int) int {
+	switch e.cfg.Policy {
+	case PolicyFirstFree:
+		return adm[0]
+	case PolicyLastFree:
+		return adm[len(adm)-1]
+	case PolicyStaticFirst:
+		var static [64]int
+		n := 0
+		for _, i := range adm {
+			if moves[i].Kind == core.Static {
+				static[n] = i
+				n++
+			}
+		}
+		if n > 0 {
+			return static[r.Intn(n)]
+		}
+		return adm[r.Intn(len(adm))]
+	default: // PolicyRandom
+		return adm[r.Intn(len(adm))]
+	}
+}
+
+// nodePhaseB drains u's input buffers and injection queue into the central
+// queues under a rotating fair order, consuming packets that reached their
+// destination directly from the buffer.
+func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats) {
+	in := e.incomingSlots[u]
+	total := len(in) + 1 // +1 for the injection queue
+	start := int(e.nodeRR[u]) % total
+	e.nodeRR[u]++
+	for i := 0; i < total; i++ {
+		s := start + i
+		if s >= total {
+			s -= total
+		}
+		if s == len(in) {
+			// Injection queue. Latency is measured from *network entry*
+			// (leaving the injection queue): time spent waiting in the
+			// injection queue is charged to the effective injection rate,
+			// not to latency, matching Section 7's bounded L_max under
+			// saturation.
+			sl := &e.injQ[u]
+			if !sl.full {
+				continue
+			}
+			qi := e.queueIndex(u, sl.pkt.Class)
+			if e.effectiveFree(qi) >= int32(sl.pkt.MinFree) {
+				sl.pkt.InjectedAt = cycle
+				if l := e.qPush(qi, sl.pkt); l > st.maxQueue {
+					st.maxQueue = l
+				}
+				sl.full = false
+				st.moves++
+			}
+			continue
+		}
+		sl := &e.inSlot[in[s]]
+		if !sl.full {
+			continue
+		}
+		if e.cfg.CutThrough && sl.pkt.Dst != u && sl.pkt.MinFree != 0 && e.cutThrough(u, sl, st) {
+			continue
+		}
+		if sl.pkt.Dst == u {
+			if sl.pkt.MinFree == 0 {
+				// Release the credit reservation of a packet consumed
+				// straight from the input buffer.
+				atomic.AddInt32(&e.inbound[e.queueIndex(u, sl.pkt.Class)], -1)
+			}
+			e.deliver(sl.pkt, cycle, win, st)
+			sl.full = false
+			continue
+		}
+		qi := e.queueIndex(u, sl.pkt.Class)
+		if sl.pkt.MinFree == 0 {
+			// Credited packet: its slot was reserved at claim time, so the
+			// push cannot fail; release the reservation.
+			pkt := sl.pkt
+			pkt.MinFree = 1
+			if l := e.qPush(qi, pkt); l > st.maxQueue {
+				st.maxQueue = l
+			}
+			atomic.AddInt32(&e.inbound[qi], -1)
+			sl.full = false
+			st.moves++
+			continue
+		}
+		if e.queues[qi].Free() >= int(sl.pkt.MinFree) {
+			if l := e.qPush(qi, sl.pkt); l > st.maxQueue {
+				st.maxQueue = l
+			}
+			sl.full = false
+			st.moves++
+		}
+	}
+}
+
+// cutThrough attempts to forward an input-buffer packet straight to a free
+// output buffer (virtual cut-through). It must not be used for credited
+// packets (their reservation is tied to the queue they bypass). Reports
+// whether the packet moved.
+func (e *Engine) cutThrough(u int32, sl *slot, st *cycleStats) bool {
+	sc := &e.scratch[0]
+	if e.workers > 1 {
+		// Under parallel execution each worker owns a contiguous node
+		// range; index the scratch by the worker that owns u.
+		chunk := (e.nodes + e.workers - 1) / e.workers
+		sc = &e.scratch[int(u)/chunk]
+	}
+	pkt := sl.pkt
+	sc.cand = e.algo.Candidates(u, pkt.Class, pkt.Work, pkt.Dst, sc.cand[:0])
+	for _, mv := range sc.cand {
+		if mv.Deliver || mv.Port == core.PortInternal || mv.Credit > 0 {
+			// Internal transitions and credited (bubble-reserved) moves go
+			// through the queues; everything else may cut through — the
+			// packet only ever occupies buffers that were free, so the
+			// deadlock analysis is unchanged and waiting strictly shrinks.
+			continue
+		}
+		si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
+		if e.outSlot[si].full {
+			continue
+		}
+		pkt.Class = mv.Class
+		pkt.Work = mv.Work
+		pkt.MinFree = mv.MinFree
+		e.outSlot[si] = slot{pkt: pkt, kind: mv.Kind, full: true}
+		sl.full = false
+		st.moves++
+		if mv.Kind == core.Dynamic {
+			st.dynamicMoves++
+		}
+		return true
+	}
+	return false
+}
+
+// linkPhase transfers at most one packet per direction over each of u's
+// outgoing links, into empty input buffers, rotating over the buffer
+// classes for fairness.
+func (e *Engine) linkPhase(u int32, st *cycleStats) {
+	for p := 0; p < e.ports; p++ {
+		if e.topo.Neighbor(int(u), p) == topology.None {
+			continue
+		}
+		l := int(u)*e.ports + p
+		base := l * e.bufClasses
+		start := int(e.linkRR[l]) % e.bufClasses
+		for i := 0; i < e.bufClasses; i++ {
+			bc := start + i
+			if bc >= e.bufClasses {
+				bc -= e.bufClasses
+			}
+			out := &e.outSlot[base+bc]
+			if !out.full {
+				continue
+			}
+			in := &e.inSlot[base+bc]
+			if in.full {
+				continue
+			}
+			out.pkt.Hops++
+			*in = *out
+			out.full = false
+			e.linkRR[l]++
+			st.moves++
+			break // one packet per link per cycle
+		}
+	}
+}
+
+// deliver consumes a packet at its destination and updates statistics,
+// asserting the livelock-freedom hop bound (and exact minimality for
+// minimal algorithms).
+func (e *Engine) deliver(pkt core.Packet, cycle int64, win runWindow, st *cycleStats) {
+	if !e.cfg.DisableInvariantChecks {
+		bound := e.algo.MaxHops(pkt.Src, pkt.Dst)
+		if int(pkt.Hops) > bound {
+			panic(fmt.Sprintf("sim: %s: packet %d took %d hops from %d to %d, bound %d",
+				e.algo.Name(), pkt.ID, pkt.Hops, pkt.Src, pkt.Dst, bound))
+		}
+		if e.algo.Props().Minimal && int(pkt.Hops) != bound {
+			panic(fmt.Sprintf("sim: %s: minimal algorithm delivered packet %d in %d hops, distance %d",
+				e.algo.Name(), pkt.ID, pkt.Hops, bound))
+		}
+	}
+	st.delivered++
+	st.moves++
+	lat := cycle - pkt.InjectedAt + 1
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(pkt, lat)
+	}
+	if win.contains(cycle) {
+		st.latencySum += lat
+		st.measured++
+		if lat > st.latencyMax {
+			st.latencyMax = lat
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+// TestOnDeliverHook checks the delivery callback sees every packet exactly
+// once with a plausible latency, on both engines.
+func TestOnDeliverHook(t *testing.T) {
+	a := core.NewHypercubeAdaptive(5)
+	var mu sync.Mutex
+	seen := map[int64]int64{}
+	cfg := Config{
+		Algorithm: a, Seed: 1,
+		OnDeliver: func(p core.Packet, lat int64) {
+			mu.Lock()
+			seen[p.ID] = lat
+			mu.Unlock()
+		},
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewStaticSource(traffic.Random{Nodes: 32}, 32, 3, 2)
+	m, err := e.RunStatic(src, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(seen)) != m.Delivered {
+		t.Fatalf("hook saw %d deliveries, engine reported %d", len(seen), m.Delivered)
+	}
+	for id, lat := range seen {
+		if lat < 1 || lat > m.LatencyMax {
+			t.Fatalf("packet %d: latency %d out of range", id, lat)
+		}
+	}
+}
+
+// TestWorkersExceedNodes: more workers than nodes must still partition
+// correctly and deterministically.
+func TestWorkersExceedNodes(t *testing.T) {
+	a := core.NewHypercubeAdaptive(3) // 8 nodes
+	run := func(workers int) Metrics {
+		e, err := NewEngine(Config{Algorithm: a, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewStaticSource(traffic.Random{Nodes: 8}, 8, 5, 2)
+		m, err := e.RunStatic(src, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(1), run(32); a != b {
+		t.Errorf("32 workers on 8 nodes diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestEngineReuse: consecutive runs on one engine start from clean state.
+func TestEngineReuse(t *testing.T) {
+	a := core.NewHypercubeAdaptive(5)
+	e, err := NewEngine(Config{Algorithm: a, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev Metrics
+	for i := 0; i < 3; i++ {
+		src := traffic.NewStaticSource(traffic.Complement{Bits: 5}, 32, 2, 3)
+		m, err := e.RunStatic(src, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && m != prev {
+			t.Fatalf("run %d differs from run %d:\n%+v\n%+v", i, i-1, m, prev)
+		}
+		prev = m
+	}
+}
+
+// TestAtomicDynamicRun exercises the atomic engine's dynamic path on the
+// shuffle-exchange (credited moves) and the torus.
+func TestAtomicDynamicRun(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewShuffleExchangeAdaptive(5),
+		core.NewTorusAdaptive(4, 4),
+	} {
+		nodes := a.Topology().Nodes()
+		e, err := NewAtomicEngine(Config{Algorithm: a, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 0.5, 3)
+		m, err := e.RunDynamic(src, 100, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if m.Delivered == 0 || m.Measured == 0 {
+			t.Errorf("%s: nothing measured: %+v", a.Name(), m)
+		}
+	}
+}
+
+// TestRemoteLookahead exercises the advisory lookahead mode end to end: it
+// must deliver everything and stay deadlock-free (reservations are released
+// on delivery too).
+func TestRemoteLookahead(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeAdaptive(5),
+		core.NewShuffleExchangeAdaptive(4), // mixes credits with lookahead
+	} {
+		nodes := a.Topology().Nodes()
+		e, err := NewEngine(Config{Algorithm: a, Seed: 1, RemoteLookahead: true, QueueCap: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewStaticSource(traffic.Random{Nodes: nodes}, nodes, 6, 2)
+		m, err := e.RunStatic(src, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if m.Delivered != int64(nodes*6) {
+			t.Errorf("%s: delivered %d, want %d", a.Name(), m.Delivered, nodes*6)
+		}
+	}
+}
+
+// TestDynamicWindowAccounting pins the measurement-window semantics: with
+// warmup w and measurement m, attempts are counted only in [w, w+m).
+func TestDynamicWindowAccounting(t *testing.T) {
+	a := core.NewHypercubeAdaptive(4)
+	e, err := NewEngine(Config{Algorithm: a, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewBernoulliSource(traffic.Random{Nodes: 16}, 16, 1.0, 2)
+	m, err := e.RunDynamic(src, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(16 * 100); m.Attempts != want {
+		t.Errorf("attempts = %d, want %d", m.Attempts, want)
+	}
+	if m.Cycles != 150 {
+		t.Errorf("cycles = %d, want 150", m.Cycles)
+	}
+}
+
+// TestInjectionQueueBackpressure: with destinations all equal (an extreme
+// hotspot permutation is impossible, so use a many-to-one pattern via
+// Permutation with all-but-one node sending to node 0's neighborhood), the
+// injection queue must throttle without losing packets.
+func TestInjectionQueueBackpressure(t *testing.T) {
+	n := 5
+	nodes := int32(1 << n)
+	sigma := make([]int32, nodes)
+	for i := range sigma {
+		sigma[i] = int32(i) ^ (nodes - 1) // complement: heavy contention
+	}
+	a := core.NewHypercubeAdaptive(n)
+	e, err := NewEngine(Config{Algorithm: a, Seed: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewStaticSource(&traffic.Permutation{Label: "compl", Sigma: sigma}, int(nodes), 20, 2)
+	m, err := e.RunStatic(src, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delivered != int64(nodes)*20 {
+		t.Errorf("delivered %d, want %d", m.Delivered, int64(nodes)*20)
+	}
+	if m.MaxQueue > 2 {
+		t.Errorf("queue occupancy %d exceeded capacity 2", m.MaxQueue)
+	}
+}
+
+// TestConservationEveryCycle asserts the exact packet-conservation
+// invariant Injected == Delivered + InNetwork at every cycle boundary of a
+// loaded dynamic run, for several algorithms on the buffered engine.
+func TestConservationEveryCycle(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeAdaptive(5),
+		core.NewShuffleExchangeAdaptive(4),
+		core.NewTorusAdaptive(4, 4),
+		core.NewCCCAdaptive(3),
+	} {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			nodes := a.Topology().Nodes()
+			var eng *Engine
+			injected, delivered := int64(0), int64(0)
+			cfg := Config{Algorithm: a, Seed: 5, QueueCap: 3}
+			cfg.OnDeliver = func(core.Packet, int64) { delivered++ }
+			cfg.OnCycle = func(cycle int64) {
+				inNet := int64(eng.InNetwork())
+				if injected != delivered+inNet {
+					t.Fatalf("cycle %d: injected %d != delivered %d + in-network %d",
+						cycle, injected, delivered, inNet)
+				}
+			}
+			var err error
+			eng, err = NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := &countingSource{inner: traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 0.8, 7), injected: &injected}
+			if _, err := eng.RunDynamic(src, 0, 400); err != nil {
+				t.Fatal(err)
+			}
+			if injected == 0 {
+				t.Fatal("nothing injected")
+			}
+		})
+	}
+}
+
+// countingSource counts committed injections.
+type countingSource struct {
+	inner    TrafficSource
+	injected *int64
+}
+
+func (c *countingSource) Wants(node int32, cycle int64) bool { return c.inner.Wants(node, cycle) }
+func (c *countingSource) Take(node int32, cycle int64) int32 {
+	*c.injected++
+	return c.inner.Take(node, cycle)
+}
+func (c *countingSource) Exhausted(node int32) bool { return c.inner.Exhausted(node) }
+
+// TestCutThroughLatency pins the virtual cut-through timing: after the
+// first store-and-forward hop out of the source queue, every uncongested
+// hop costs one cycle (input buffer -> output buffer -> link in the same
+// cycle), so the complement permutation with one packet per node delivers
+// in exactly n+2 cycles instead of store-and-forward's 2n+1.
+func TestCutThroughLatency(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		a := core.NewHypercubeAdaptive(n)
+		src := traffic.NewStaticSource(traffic.Complement{Bits: n}, 1<<n, 1, 1)
+		m := runStaticBuffered(t, a, src, Config{Seed: 42, CutThrough: true})
+		if want := int64(n + 2); m.LatencyMax != want || m.AvgLatency() != float64(want) {
+			t.Errorf("n=%d: latency = %.2f/%d, want exactly %d", n, m.AvgLatency(), m.LatencyMax, want)
+		}
+		if m.Delivered != int64(1<<n) {
+			t.Errorf("n=%d: delivered %d", n, m.Delivered)
+		}
+	}
+}
+
+// TestCutThroughUnderPressure: cut-through must not break deadlock freedom
+// or conservation in the congested regime, including for the credited
+// shuffle-exchange moves (which must bypass cut-through).
+func TestCutThroughUnderPressure(t *testing.T) {
+	for _, a := range []core.Algorithm{
+		core.NewHypercubeAdaptive(5),
+		core.NewMeshAdaptive(5, 5),
+		core.NewShuffleExchangeAdaptive(6),
+		core.NewTorusAdaptive(5, 5),
+		core.NewCCCAdaptive(4),
+	} {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			nodes := a.Topology().Nodes()
+			src := traffic.NewStaticSource(traffic.Random{Nodes: nodes}, nodes, 8, 3)
+			m := runStaticBuffered(t, a, src, Config{QueueCap: 2, Seed: 13, CutThrough: true})
+			if m.Delivered != int64(nodes*8) {
+				t.Fatalf("delivered %d, want %d", m.Delivered, nodes*8)
+			}
+		})
+	}
+}
+
+// TestCutThroughDeterministicParallel: cut-through with multiple workers
+// must stay bit-deterministic.
+func TestCutThroughDeterministicParallel(t *testing.T) {
+	run := func(workers int) Metrics {
+		a := core.NewHypercubeAdaptive(6)
+		src := traffic.NewBernoulliSource(traffic.Random{Nodes: 64}, 64, 0.8, 3)
+		e, err := NewEngine(Config{Algorithm: a, Seed: 3, Workers: workers, CutThrough: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := e.RunDynamic(src, 100, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Errorf("cut-through parallel run diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,217 @@
+// Package sim provides the two packet-routing simulators used to evaluate
+// the algorithms:
+//
+//   - Engine is the cycle-accurate buffered simulator implementing the node
+//     and link model of Sections 6 and 7.1 of the paper: per-link input and
+//     output buffers (one per static target queue plus one shared dynamic
+//     buffer), a node cycle that first fills output buffers from the queues
+//     in FIFO order and then drains input and injection buffers into the
+//     queues fairly, and a link cycle that moves at most one packet per
+//     direction. A hop therefore costs two cycles through a node, and an
+//     uncongested d-hop route has latency 2d+1 — the calibration that makes
+//     Table 2's L = 2n+1 come out exactly.
+//
+//   - AtomicEngine is the abstract store-and-forward model of Section 2
+//     (the greedy Route(q) algorithm): queue-to-queue moves applied
+//     atomically, one per queue per cycle. It is the reference model for
+//     the deadlock-freedom semantics (MinFree conditions are exact) and for
+//     algorithm-level studies.
+//
+// Both engines detect deadlock (no packet movement while packets remain)
+// and assert livelock freedom (hop bounds at delivery), and both are fully
+// deterministic for a fixed seed, including under parallel execution.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TrafficSource drives injection. Implementations live in internal/traffic;
+// the interface is defined here so the engines carry no traffic dependency.
+// Engines call Wants at most once per node per cycle and Take only when the
+// injection actually commits, always from the goroutine that owns the node,
+// so implementations need per-node state only.
+type TrafficSource interface {
+	// Wants reports whether node attempts to inject a packet this cycle.
+	// An attempt against an occupied injection queue fails (and counts
+	// against the effective injection rate); Take is then not called and
+	// the source must not consider the packet consumed.
+	Wants(node int32, cycle int64) bool
+	// Take returns the destination of the packet being injected at node.
+	// It is called at most once per Wants, and only when the injection
+	// queue has room.
+	Take(node int32, cycle int64) int32
+	// Exhausted reports whether node will never attempt again. Dynamic
+	// (Bernoulli) sources return false forever; static sources return true
+	// once their per-node allotment is injected.
+	Exhausted(node int32) bool
+}
+
+// Policy selects among the admissible candidate moves of a packet.
+type Policy uint8
+
+const (
+	// PolicyFirstFree picks the first admissible move in candidate order,
+	// which for every algorithm in core is low-to-high dimension order —
+	// the paper's "each node fills its output buffers from low to high
+	// dimensions" (Section 7.1). It is the default; it also makes the
+	// uncongested Complement runs reproduce Table 2's exact L = 2n+1
+	// (dimension-ordered complement traffic never collides).
+	PolicyFirstFree Policy = iota
+	// PolicyRandom picks uniformly at random among admissible moves; the
+	// paper's select "may return any q' satisfying the condition", and the
+	// random choice spreads load without positional bias.
+	PolicyRandom
+	// PolicyStaticFirst picks a random admissible static move if one
+	// exists, falling back to dynamic moves: an ablation that treats
+	// dynamic links strictly as overflow capacity.
+	PolicyStaticFirst
+	// PolicyLastFree picks the last admissible move in candidate order —
+	// a deliberately unhelpful choice (it prefers dynamic links and high
+	// dimensions) used by the stress tests to check that deadlock freedom
+	// does not depend on benign selection.
+	PolicyLastFree
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyRandom:
+		return "random"
+	case PolicyFirstFree:
+		return "first-free"
+	case PolicyStaticFirst:
+		return "static-first"
+	case PolicyLastFree:
+		return "last-free"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Config configures either engine.
+type Config struct {
+	Algorithm core.Algorithm
+	// QueueCap is the capacity of each central queue (the paper fixes 5).
+	// Must be >= 2 for algorithms that use bubble-guarded moves.
+	QueueCap int
+	// Policy selects among admissible moves; default PolicyRandom.
+	Policy Policy
+	// Seed makes runs reproducible. Every node derives its own generator
+	// from it, so results are independent of worker count.
+	Seed int64
+	// Workers > 1 shards the nodes across goroutines with barriers between
+	// the phases of a cycle. 0 or 1 means sequential.
+	Workers int
+	// DeadlockWindow is the number of consecutive cycles without any packet
+	// movement (while packets remain in the network) after which the run
+	// aborts with ErrDeadlock. Default 1000.
+	DeadlockWindow int
+	// DisableInvariantChecks turns off per-delivery hop assertions (used
+	// only by tests that measure raw speed).
+	DisableInvariantChecks bool
+	// CutThrough enables virtual cut-through switching [KK79], the hybrid
+	// between packet routing and wormhole the paper's introduction names: a
+	// packet arriving at a node may proceed straight from the input buffer
+	// to a free output buffer in the same cycle, without being stored in a
+	// central queue. Blocked packets fall back to the store-and-forward
+	// path, so deadlock freedom is unchanged (cut-through only ever uses
+	// free buffers); an uncongested hop costs 1 cycle instead of 2.
+	CutThrough bool
+	// HeadOnly restricts node phase (a) to each queue's head packet, the
+	// strict reading of Section 2's Route(q) (one head move per queue per
+	// cycle). The default lets packets behind a blocked head depart first
+	// when they want a different buffer, the natural reading of Section
+	// 7.1's per-buffer FIFO arbitration; HeadOnly quantifies the cost of
+	// head-of-line blocking as an ablation.
+	HeadOnly bool
+	// RemoteLookahead makes a packet commit to an output buffer only when
+	// the target queue currently has room for every packet already headed
+	// its way plus this one (occupancy + inbound < capacity). This realizes
+	// the abstract Route(q) of Section 2 — "select q' : not Full(q')" —
+	// over the buffered node model: the adaptive choice is made against the
+	// state of the target queues rather than only the local buffers.
+	RemoteLookahead bool
+	// OnDeliver, if set, is called at every delivery with the packet and
+	// its measured latency (cycles since network entry). With Workers > 1
+	// it is called concurrently and must be safe for parallel use.
+	OnDeliver func(pkt core.Packet, latency int64)
+	// OnCycle, if set, is called once at the end of every simulated cycle,
+	// outside the parallel phases, so it may safely inspect the engine
+	// (e.g. through Snapshot) to sample congestion over time.
+	OnCycle func(cycle int64)
+}
+
+func (c *Config) fill() error {
+	if c.Algorithm == nil {
+		return fmt.Errorf("sim: Config.Algorithm is nil")
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 5
+	}
+	if c.QueueCap < 1 {
+		return fmt.Errorf("sim: QueueCap must be >= 1, got %d", c.QueueCap)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.DeadlockWindow == 0 {
+		c.DeadlockWindow = 1000
+	}
+	return nil
+}
+
+// ErrDeadlock is returned when the watchdog observes no packet movement for
+// DeadlockWindow consecutive cycles while undelivered packets remain. The
+// verified algorithms never trigger it; tests use it with adversarial
+// configurations to prove the watchdog works.
+type ErrDeadlock struct {
+	Cycle     int64
+	InFlight  int
+	Algorithm string
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock: %s made no progress by cycle %d with %d packets in flight",
+		e.Algorithm, e.Cycle, e.InFlight)
+}
+
+// Metrics aggregates the observables the paper reports, plus bookkeeping
+// used by the tests.
+type Metrics struct {
+	Cycles       int64 // cycles simulated
+	Injected     int64 // packets that entered an injection queue
+	Delivered    int64 // packets consumed at their destination
+	InFlight     int64 // packets still in the network when the run ended
+	Attempts     int64 // injection attempts (dynamic model, measured window)
+	Successes    int64 // successful attempts (dynamic model, measured window)
+	LatencySum   int64 // sum of latencies over measured deliveries
+	LatencyMax   int64 // maximum latency over measured deliveries
+	Measured     int64 // deliveries contributing to the latency statistics
+	MaxQueue     int   // maximum central-queue occupancy ever observed
+	Moves        int64 // total packet movements (progress events)
+	DynamicMoves int64 // movements that used a dynamic link
+}
+
+// AvgLatency returns the mean latency over the measured deliveries, the
+// paper's L_avg.
+func (m *Metrics) AvgLatency() float64 {
+	if m.Measured == 0 {
+		return 0
+	}
+	return float64(m.LatencySum) / float64(m.Measured)
+}
+
+// InjectionRate returns the effective injection rate I_r in [0,1]: the
+// ratio of successful to attempted injections (Section 7.1).
+func (m *Metrics) InjectionRate() float64 {
+	if m.Attempts == 0 {
+		return 0
+	}
+	return float64(m.Successes) / float64(m.Attempts)
+}
+
+func (m *Metrics) String() string {
+	return fmt.Sprintf("cycles=%d injected=%d delivered=%d Lavg=%.2f Lmax=%d Ir=%.1f%%",
+		m.Cycles, m.Injected, m.Delivered, m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate())
+}

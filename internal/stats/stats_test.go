@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func record(c *Collector, lats ...int64) {
+	for _, l := range lats {
+		c.OnDeliver(core.Packet{Hops: uint16(l / 2)}, l)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	c := NewCollector()
+	record(c, 2, 4, 4, 4, 5, 5, 7, 9)
+	if got := c.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got, want := c.StdDev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if c.Min() != 2 || c.Max() != 9 || c.Count() != 8 {
+		t.Errorf("extremes wrong: min=%d max=%d n=%d", c.Min(), c.Max(), c.Count())
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.Mean() != 0 || c.StdDev() != 0 || c.Min() != 0 || c.Max() != 0 || c.Percentile(50) != 0 {
+		t.Error("empty collector should report zeros")
+	}
+	if !strings.Contains(c.Histogram(5), "no deliveries") {
+		t.Error("empty histogram text wrong")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector()
+	for i := int64(1); i <= 100; i++ {
+		record(c, i)
+	}
+	cases := map[float64]int64{0: 1, 1: 1, 50: 50, 95: 95, 99: 99, 100: 100}
+	for p, want := range cases {
+		if got := c.Percentile(p); got != want {
+			t.Errorf("Percentile(%v) = %d, want %d", p, got, want)
+		}
+	}
+	if got := c.Percentile(-5); got != 1 {
+		t.Errorf("Percentile(-5) = %d, want clamp to 1", got)
+	}
+	if got := c.Percentile(200); got != 100 {
+		t.Errorf("Percentile(200) = %d, want clamp to 100", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCollector()
+		for _, v := range raw {
+			record(c, int64(v%500)+1)
+		}
+		last := int64(0)
+		for p := 0.0; p <= 100; p += 7 {
+			v := c.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return c.Percentile(100) == c.Max() && c.Percentile(0) == c.Min()
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	c := NewCollector()
+	record(c, 1, 1, 2, 10, 10, 10, 10)
+	h := c.Histogram(2)
+	lines := strings.Split(strings.TrimSpace(h), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 buckets, got %d:\n%s", len(lines), h)
+	}
+	if !strings.Contains(lines[0], "3") || !strings.Contains(lines[1], "4") {
+		t.Errorf("bucket fills wrong:\n%s", h)
+	}
+	// The fuller bucket gets the longer bar.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[0], "#") {
+		t.Errorf("bar lengths not proportional:\n%s", h)
+	}
+}
+
+func TestHopHistogram(t *testing.T) {
+	c := NewCollector()
+	c.OnDeliver(core.Packet{Hops: 3}, 7)
+	c.OnDeliver(core.Packet{Hops: 3}, 9)
+	c.OnDeliver(core.Packet{Hops: 1}, 3)
+	hh := c.HopHistogram()
+	if len(hh) != 2 || hh[0] != [2]int64{1, 1} || hh[1] != [2]int64{3, 2} {
+		t.Errorf("HopHistogram = %v", hh)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	c := NewCollector()
+	record(c, 5, 7, 9)
+	s := c.Summary()
+	for _, want := range []string{"n=3", "mean=7.00", "min=5", "max=9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := int64(1); i <= 1000; i++ {
+				c.OnDeliver(core.Packet{}, i)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", c.Count())
+	}
+	if got := c.Mean(); math.Abs(got-500.5) > 1e-9 {
+		t.Errorf("Mean = %v, want 500.5", got)
+	}
+}

@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CCC port numbers.
+const (
+	// CCCRingPlus moves one position forward around the vertex cycle.
+	CCCRingPlus = 0
+	// CCCRingMinus moves one position backward around the vertex cycle.
+	CCCRingMinus = 1
+	// CCCCube crosses the hypercube link of the current position.
+	CCCCube = 2
+)
+
+// CCC is the cube-connected cycles network of order n: every vertex w of
+// the binary n-cube is replaced by a cycle of n nodes (w, 0) ... (w, n-1),
+// and node (w, i) carries the cube link of dimension i to (w ^ 1<<i, i).
+// Node (w, i) has id w*n + i. The paper's introduction lists the CCC among
+// the networks its techniques cover (via [PFGS91]).
+type CCC struct {
+	dims  int
+	nodes int
+
+	mu      sync.Mutex
+	distRow map[int][]int16
+}
+
+// NewCCC returns the cube-connected cycles of order dims (2 <= dims <= 16).
+func NewCCC(dims int) *CCC {
+	if dims < 2 || dims > 16 {
+		panic(fmt.Sprintf("topology: CCC order %d out of range [2,16]", dims))
+	}
+	return &CCC{dims: dims, nodes: dims << dims, distRow: make(map[int][]int16)}
+}
+
+// Dims returns the order n: 2^n cycles of n nodes each.
+func (c *CCC) Dims() int { return c.dims }
+
+func (c *CCC) Name() string { return fmt.Sprintf("ccc(%d)", c.dims) }
+func (c *CCC) Nodes() int   { return c.nodes }
+func (c *CCC) Ports() int   { return 3 }
+
+// Vertex returns the hypercube vertex w of node u.
+func (c *CCC) Vertex(u int) int { return u / c.dims }
+
+// Position returns the cycle position i of node u.
+func (c *CCC) Position(u int) int { return u % c.dims }
+
+// NodeAt returns the id of node (w, i).
+func (c *CCC) NodeAt(w, i int) int {
+	if w < 0 || w >= 1<<c.dims || i < 0 || i >= c.dims {
+		panic(fmt.Sprintf("topology: CCC coordinate (%d,%d) out of range", w, i))
+	}
+	return w*c.dims + i
+}
+
+func (c *CCC) Neighbor(u, p int) int {
+	w, i := c.Vertex(u), c.Position(u)
+	switch p {
+	case CCCRingPlus:
+		return c.NodeAt(w, (i+1)%c.dims)
+	case CCCRingMinus:
+		return c.NodeAt(w, (i+c.dims-1)%c.dims)
+	case CCCCube:
+		return c.NodeAt(w^1<<i, i)
+	}
+	return None
+}
+
+func (c *CCC) ReversePort(u, p int) int {
+	switch p {
+	case CCCRingPlus:
+		if c.dims == 2 {
+			// Cycles of length 2: the two ring ports reach the same node,
+			// and the lower-numbered one is its own reverse.
+			return CCCRingPlus
+		}
+		return CCCRingMinus
+	case CCCRingMinus:
+		if c.dims == 2 {
+			return CCCRingMinus
+		}
+		return CCCRingPlus
+	case CCCCube:
+		return CCCCube
+	}
+	return None
+}
+
+func (c *CCC) PortTo(u, v int) int {
+	for p := 0; p < 3; p++ {
+		if c.Neighbor(u, p) == v {
+			return p
+		}
+	}
+	return None
+}
+
+// Distance is the shortest path length (memoized BFS; CCC distances have no
+// convenient closed form).
+func (c *CCC) Distance(a, b int) int {
+	c.mu.Lock()
+	row, ok := c.distRow[a]
+	c.mu.Unlock()
+	if !ok {
+		row = c.bfsRow(a)
+		c.mu.Lock()
+		c.distRow[a] = row
+		c.mu.Unlock()
+	}
+	return int(row[b])
+}
+
+func (c *CCC) bfsRow(a int) []int16 {
+	row := make([]int16, c.nodes)
+	for i := range row {
+		row[i] = -1
+	}
+	row[a] = 0
+	queue := []int32{int32(a)}
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+		for p := 0; p < 3; p++ {
+			v := c.Neighbor(u, p)
+			if v >= 0 && row[v] < 0 {
+				row[v] = row[u] + 1
+				queue = append(queue, int32(v))
+			}
+		}
+	}
+	return row
+}

@@ -1,0 +1,77 @@
+package topology
+
+import "testing"
+
+func TestCCCBasics(t *testing.T) {
+	c := NewCCC(3)
+	if c.Nodes() != 24 || c.Ports() != 3 || c.Dims() != 3 {
+		t.Fatalf("nodes=%d ports=%d dims=%d", c.Nodes(), c.Ports(), c.Dims())
+	}
+	u := c.NodeAt(0b101, 1)
+	if c.Vertex(u) != 0b101 || c.Position(u) != 1 {
+		t.Fatalf("coordinate round trip failed for %d", u)
+	}
+	if got := c.Neighbor(u, CCCRingPlus); got != c.NodeAt(0b101, 2) {
+		t.Errorf("ring+ = %d, want %d", got, c.NodeAt(0b101, 2))
+	}
+	if got := c.Neighbor(u, CCCRingMinus); got != c.NodeAt(0b101, 0) {
+		t.Errorf("ring- = %d, want %d", got, c.NodeAt(0b101, 0))
+	}
+	// Cube link at position 1 flips bit 1.
+	if got := c.Neighbor(u, CCCCube); got != c.NodeAt(0b111, 1) {
+		t.Errorf("cube = %d, want %d", got, c.NodeAt(0b111, 1))
+	}
+}
+
+func TestCCCValidate(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		if err := Validate(NewCCC(n)); err != nil {
+			t.Errorf("ccc(%d): %v", n, err)
+		}
+	}
+}
+
+func TestCCCRingWrap(t *testing.T) {
+	c := NewCCC(4)
+	top := c.NodeAt(0, 3)
+	if got := c.Neighbor(top, CCCRingPlus); got != c.NodeAt(0, 0) {
+		t.Errorf("ring wrap = %d, want %d", got, c.NodeAt(0, 0))
+	}
+	if got := c.Neighbor(c.NodeAt(0, 0), CCCRingMinus); got != top {
+		t.Errorf("ring wrap back = %d, want %d", got, top)
+	}
+}
+
+func TestCCCDistanceSane(t *testing.T) {
+	c := NewCCC(3)
+	// Same cycle, adjacent positions: distance 1.
+	if got := c.Distance(c.NodeAt(2, 0), c.NodeAt(2, 1)); got != 1 {
+		t.Errorf("adjacent ring distance = %d", got)
+	}
+	// Across one cube link: distance 1.
+	if got := c.Distance(c.NodeAt(0, 2), c.NodeAt(0b100, 2)); got != 1 {
+		t.Errorf("cube link distance = %d", got)
+	}
+	// All pairs reachable and within the known CCC diameter bound of
+	// 2n + floor(n/2) - 2 for n >= 4 (loose check: <= 3n here).
+	for a := 0; a < c.Nodes(); a++ {
+		for b := 0; b < c.Nodes(); b++ {
+			d := c.Distance(a, b)
+			if d < 0 || d > 3*c.Dims() {
+				t.Fatalf("Distance(%d,%d) = %d", a, b, d)
+			}
+		}
+	}
+}
+
+func TestCCCOrderTwoParallelRings(t *testing.T) {
+	// CCC(2): cycles of length two; both ring ports reach the same node.
+	c := NewCCC(2)
+	u := c.NodeAt(1, 0)
+	if c.Neighbor(u, CCCRingPlus) != c.Neighbor(u, CCCRingMinus) {
+		t.Error("length-2 cycle ports should coincide")
+	}
+	if err := Validate(c); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube is the binary n-cube: 2^n nodes, node u adjacent to u^(1<<i) for
+// every dimension i. Port i flips bit i, so ports are naturally ordered from
+// low to high dimension.
+type Hypercube struct {
+	dims  int
+	nodes int
+}
+
+// NewHypercube returns the binary hypercube with the given number of
+// dimensions (1 <= dims <= 30).
+func NewHypercube(dims int) *Hypercube {
+	if dims < 1 || dims > 30 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d out of range [1,30]", dims))
+	}
+	return &Hypercube{dims: dims, nodes: 1 << dims}
+}
+
+// Dims returns the number of dimensions n (so Nodes() == 1<<n).
+func (h *Hypercube) Dims() int { return h.dims }
+
+func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.dims) }
+func (h *Hypercube) Nodes() int   { return h.nodes }
+func (h *Hypercube) Ports() int   { return h.dims }
+
+func (h *Hypercube) Neighbor(u, p int) int {
+	if p < 0 || p >= h.dims {
+		return None
+	}
+	return u ^ (1 << p)
+}
+
+// ReversePort returns p: hypercube links are undirected and symmetric.
+func (h *Hypercube) ReversePort(u, p int) int {
+	if p < 0 || p >= h.dims {
+		return None
+	}
+	return p
+}
+
+func (h *Hypercube) PortTo(u, v int) int {
+	d := u ^ v
+	if d == 0 || d&(d-1) != 0 {
+		return None
+	}
+	return bits.TrailingZeros32(uint32(d))
+}
+
+// Distance is the Hamming distance between the two node addresses.
+func (h *Hypercube) Distance(a, b int) int {
+	return bits.OnesCount32(uint32(a ^ b))
+}
+
+// Level returns the Hamming weight of u, i.e. the level of u when the cube
+// is hung from node 0...0 (Section 3 of the paper).
+func (h *Hypercube) Level(u int) int { return bits.OnesCount32(uint32(u)) }

@@ -1,0 +1,124 @@
+package topology
+
+import "fmt"
+
+// Mesh is a k-dimensional mesh with side lengths Shape. Node coordinates are
+// mixed-radix: node id = c[0] + c[1]*Shape[0] + c[2]*Shape[0]*Shape[1] + ...
+// Ports are ordered low dimension first; within a dimension the increasing
+// direction comes first: port 2*i is +1 in dimension i, port 2*i+1 is -1.
+// Border ports report Neighbor == None.
+type Mesh struct {
+	shape  []int
+	stride []int
+	nodes  int
+}
+
+// NewMesh returns the mesh with the given per-dimension side lengths.
+func NewMesh(shape ...int) *Mesh {
+	if len(shape) == 0 {
+		panic("topology: mesh needs at least one dimension")
+	}
+	m := &Mesh{shape: append([]int(nil), shape...), stride: make([]int, len(shape)), nodes: 1}
+	for i, s := range shape {
+		if s < 1 {
+			panic(fmt.Sprintf("topology: mesh side %d must be >= 1, got %d", i, s))
+		}
+		m.stride[i] = m.nodes
+		m.nodes *= s
+	}
+	return m
+}
+
+// NewMesh2D returns the square 2-dimensional side x side mesh studied in
+// Section 4 of the paper.
+func NewMesh2D(side int) *Mesh { return NewMesh(side, side) }
+
+// Dims returns the number of dimensions.
+func (m *Mesh) Dims() int { return len(m.shape) }
+
+// Shape returns the per-dimension side lengths. The caller must not modify it.
+func (m *Mesh) Shape() []int { return m.shape }
+
+func (m *Mesh) Name() string {
+	s := "mesh("
+	for i, d := range m.shape {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	return s + ")"
+}
+
+func (m *Mesh) Nodes() int { return m.nodes }
+func (m *Mesh) Ports() int { return 2 * len(m.shape) }
+
+// Coord returns the coordinate of u along dimension i.
+func (m *Mesh) Coord(u, i int) int { return u / m.stride[i] % m.shape[i] }
+
+// NodeAt returns the node id at the given coordinates.
+func (m *Mesh) NodeAt(coord ...int) int {
+	if len(coord) != len(m.shape) {
+		panic("topology: wrong coordinate count")
+	}
+	u := 0
+	for i, c := range coord {
+		if c < 0 || c >= m.shape[i] {
+			panic(fmt.Sprintf("topology: coordinate %d out of range: %d", i, c))
+		}
+		u += c * m.stride[i]
+	}
+	return u
+}
+
+func (m *Mesh) Neighbor(u, p int) int {
+	if p < 0 || p >= 2*len(m.shape) {
+		return None
+	}
+	dim, dir := p/2, 1-2*(p&1) // +1 for even ports, -1 for odd
+	c := m.Coord(u, dim) + dir
+	if c < 0 || c >= m.shape[dim] {
+		return None
+	}
+	return u + dir*m.stride[dim]
+}
+
+func (m *Mesh) ReversePort(u, p int) int {
+	if m.Neighbor(u, p) == None {
+		return None
+	}
+	return p ^ 1 // +1 and -1 ports of the same dimension are adjacent numbers
+}
+
+func (m *Mesh) PortTo(u, v int) int {
+	for p := 0; p < m.Ports(); p++ {
+		if m.Neighbor(u, p) == v {
+			return p
+		}
+	}
+	return None
+}
+
+// Distance is the Manhattan distance between the two nodes.
+func (m *Mesh) Distance(a, b int) int {
+	d := 0
+	for i := range m.shape {
+		ca, cb := m.Coord(a, i), m.Coord(b, i)
+		if ca > cb {
+			d += ca - cb
+		} else {
+			d += cb - ca
+		}
+	}
+	return d
+}
+
+// Level returns the coordinate sum of u: the level of u when the mesh is
+// hung from node (0,...,0) as in Section 4 of the paper.
+func (m *Mesh) Level(u int) int {
+	l := 0
+	for i := range m.shape {
+		l += m.Coord(u, i)
+	}
+	return l
+}

@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Shuffle-exchange port numbers.
+const (
+	// ShufflePort is the directed shuffle link u -> rotLeft(u).
+	ShufflePort = 0
+	// ExchangePort is the (undirected) exchange link u <-> u^1.
+	ExchangePort = 1
+)
+
+// ShuffleExchange is the 2^n-node shuffle-exchange network. Each node u has
+// a directed shuffle link to rotLeft(u) (the left rotation of its n-bit
+// address) and an undirected exchange link to u^1.
+//
+// The connected components of the shuffle links alone are the "shuffle
+// cycles" of Section 5 of the paper; all nodes of a cycle share the same
+// Hamming weight (the cycle's level). Cycle-related helpers (CycleLen,
+// CyclePos, CycleBreak) implement the cycle-breaking bookkeeping the routing
+// algorithm needs.
+type ShuffleExchange struct {
+	dims  int
+	nodes int
+
+	mu      sync.Mutex
+	distRow map[int][]int16 // memoized BFS rows for Distance
+}
+
+// NewShuffleExchange returns the 2^dims-node shuffle-exchange network
+// (1 <= dims <= 26).
+func NewShuffleExchange(dims int) *ShuffleExchange {
+	if dims < 1 || dims > 26 {
+		panic(fmt.Sprintf("topology: shuffle-exchange dimension %d out of range [1,26]", dims))
+	}
+	return &ShuffleExchange{dims: dims, nodes: 1 << dims, distRow: make(map[int][]int16)}
+}
+
+// Dims returns the address width n (so Nodes() == 1<<n).
+func (s *ShuffleExchange) Dims() int { return s.dims }
+
+func (s *ShuffleExchange) Name() string { return fmt.Sprintf("shuffle-exchange(%d)", s.dims) }
+func (s *ShuffleExchange) Nodes() int   { return s.nodes }
+func (s *ShuffleExchange) Ports() int   { return 2 }
+
+// RotLeft rotates the n-bit address one position to the left (the shuffle
+// permutation).
+func (s *ShuffleExchange) RotLeft(u int) int {
+	return (u<<1 | u>>(s.dims-1)) & (s.nodes - 1)
+}
+
+// RotRight rotates the n-bit address one position to the right.
+func (s *ShuffleExchange) RotRight(u int) int {
+	return (u>>1 | (u&1)<<(s.dims-1)) & (s.nodes - 1)
+}
+
+func (s *ShuffleExchange) Neighbor(u, p int) int {
+	switch p {
+	case ShufflePort:
+		return s.RotLeft(u)
+	case ExchangePort:
+		return u ^ 1
+	}
+	return None
+}
+
+func (s *ShuffleExchange) ReversePort(u, p int) int {
+	switch p {
+	case ShufflePort:
+		// Shuffle links are directed; rotLeft(u) only leads back to u when
+		// the rotation is an involution on u (cycles of length <= 2).
+		if s.RotLeft(s.RotLeft(u)) == u {
+			return ShufflePort
+		}
+		return None
+	case ExchangePort:
+		return ExchangePort
+	}
+	return None
+}
+
+func (s *ShuffleExchange) PortTo(u, v int) int {
+	if s.RotLeft(u) == v {
+		return ShufflePort
+	}
+	if u^1 == v {
+		return ExchangePort
+	}
+	return None
+}
+
+// Distance is the shortest directed path length (memoized BFS; there is no
+// simple closed form for shuffle-exchange distances).
+func (s *ShuffleExchange) Distance(a, b int) int {
+	s.mu.Lock()
+	row, ok := s.distRow[a]
+	s.mu.Unlock()
+	if !ok {
+		row = s.bfsRow(a)
+		s.mu.Lock()
+		s.distRow[a] = row
+		s.mu.Unlock()
+	}
+	return int(row[b])
+}
+
+func (s *ShuffleExchange) bfsRow(a int) []int16 {
+	row := make([]int16, s.nodes)
+	for i := range row {
+		row[i] = -1
+	}
+	row[a] = 0
+	queue := []int32{int32(a)}
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+		for p := 0; p < 2; p++ {
+			v := s.Neighbor(u, p)
+			if row[v] < 0 {
+				row[v] = row[u] + 1
+				queue = append(queue, int32(v))
+			}
+		}
+	}
+	return row
+}
+
+// CycleLen returns the length of u's shuffle cycle: the smallest L >= 1 with
+// rotLeft^L(u) == u. L always divides Dims(); L < Dims() only for periodic
+// ("degenerate") addresses such as 0101.
+func (s *ShuffleExchange) CycleLen(u int) int {
+	v := s.RotLeft(u)
+	l := 1
+	for v != u {
+		v = s.RotLeft(v)
+		l++
+	}
+	return l
+}
+
+// CycleBreak returns the break node of u's shuffle cycle: the minimum
+// address in the rotation orbit. The paper notes any node of a cycle can be
+// chosen to break it; the minimum gives a canonical, stateless choice.
+func (s *ShuffleExchange) CycleBreak(u int) int {
+	min := u
+	v := s.RotLeft(u)
+	for v != u {
+		if v < min {
+			min = v
+		}
+		v = s.RotLeft(v)
+	}
+	return min
+}
+
+// CyclePos returns the number of shuffle steps from the cycle's break node
+// to u (0 for the break node itself). The shuffle edge entering the break
+// node — the edge from the node at position CycleLen-1 — is the cycle's
+// dateline: traversing it moves a message from queue channel 0 to channel 1.
+func (s *ShuffleExchange) CyclePos(u int) int {
+	v := s.CycleBreak(u)
+	pos := 0
+	for v != u {
+		v = s.RotLeft(v)
+		pos++
+	}
+	return pos
+}
+
+// Level returns the Hamming weight of u, which is constant across u's
+// shuffle cycle and is the cycle's level in the sense of Section 5.
+func (s *ShuffleExchange) Level(u int) int {
+	l := 0
+	for v := u; v != 0; v &= v - 1 {
+		l++
+	}
+	return l
+}

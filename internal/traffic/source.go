@@ -1,0 +1,124 @@
+package traffic
+
+import (
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// StaticSource is the paper's static injection model: every node has a
+// fixed number of packets to inject (1 or n in Section 7). A node attempts
+// every cycle until its allotment has entered the network.
+type StaticSource struct {
+	pattern   Pattern
+	remaining []int32
+	rngs      []xrand.RNG
+}
+
+// NewStaticSource builds a static source of perNode packets at each of the
+// nodes, destined per pattern. The seed feeds the per-node generators used
+// by random patterns.
+func NewStaticSource(pattern Pattern, nodes, perNode int, seed int64) *StaticSource {
+	s := &StaticSource{
+		pattern:   pattern,
+		remaining: make([]int32, nodes),
+		rngs:      make([]xrand.RNG, nodes),
+	}
+	for u := range s.remaining {
+		s.remaining[u] = int32(perNode)
+		s.rngs[u] = xrand.New(seed, int32(u))
+	}
+	return s
+}
+
+// Wants reports whether the node still has packets to inject.
+func (s *StaticSource) Wants(node int32, _ int64) bool { return s.remaining[node] > 0 }
+
+// Take consumes one packet from the node's allotment.
+func (s *StaticSource) Take(node int32, _ int64) int32 {
+	s.remaining[node]--
+	return s.pattern.Dest(node, &s.rngs[node])
+}
+
+// Exhausted reports whether the node's allotment is used up.
+func (s *StaticSource) Exhausted(node int32) bool { return s.remaining[node] <= 0 }
+
+// TotalRemaining returns the packets not yet injected (for tests).
+func (s *StaticSource) TotalRemaining() int {
+	t := 0
+	for _, r := range s.remaining {
+		t += int(r)
+	}
+	return t
+}
+
+// BernoulliSource is the paper's dynamic injection model: every cycle each
+// node attempts to inject with probability Lambda; the destination is drawn
+// from the pattern at commit time.
+type BernoulliSource struct {
+	pattern Pattern
+	lambda  float64
+	rngs    []xrand.RNG
+}
+
+// NewBernoulliSource builds a dynamic source with rate lambda in [0,1].
+func NewBernoulliSource(pattern Pattern, nodes int, lambda float64, seed int64) *BernoulliSource {
+	s := &BernoulliSource{
+		pattern: pattern,
+		lambda:  lambda,
+		rngs:    make([]xrand.RNG, nodes),
+	}
+	for u := range s.rngs {
+		s.rngs[u] = xrand.New(seed, int32(u))
+	}
+	return s
+}
+
+// Wants flips the node's Bernoulli coin for this cycle. Lambda = 1 attempts
+// every cycle without consuming generator state, so the paper's λ=1 runs
+// stay aligned across configurations.
+func (s *BernoulliSource) Wants(node int32, _ int64) bool {
+	if s.lambda >= 1 {
+		return true
+	}
+	return s.rngs[node].Coin(s.lambda)
+}
+
+// Take draws the destination of the packet being injected.
+func (s *BernoulliSource) Take(node int32, _ int64) int32 {
+	return s.pattern.Dest(node, &s.rngs[node])
+}
+
+// Exhausted always reports false: dynamic sources never stop.
+func (s *BernoulliSource) Exhausted(int32) bool { return false }
+
+// RecordingSource wraps a source and records every taken (src, dst) pair;
+// tests use it to check conservation (everything injected is delivered).
+type RecordingSource struct {
+	Inner interface {
+		Wants(node int32, cycle int64) bool
+		Take(node int32, cycle int64) int32
+		Exhausted(node int32) bool
+	}
+
+	mu    sync.Mutex
+	Taken []TakenPacket
+}
+
+// TakenPacket is one recorded injection.
+type TakenPacket struct {
+	Src, Dst int32
+	Cycle    int64
+}
+
+func (r *RecordingSource) Wants(node int32, cycle int64) bool { return r.Inner.Wants(node, cycle) }
+
+func (r *RecordingSource) Take(node int32, cycle int64) int32 {
+	dst := r.Inner.Take(node, cycle)
+	r.mu.Lock()
+	r.Taken = append(r.Taken, TakenPacket{Src: node, Dst: dst, Cycle: cycle})
+	r.mu.Unlock()
+	return dst
+}
+
+func (r *RecordingSource) Exhausted(node int32) bool { return r.Inner.Exhausted(node) }

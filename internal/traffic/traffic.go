@@ -1,0 +1,193 @@
+// Package traffic provides the communication patterns and injection models
+// of Section 7 of the paper, plus a few standard extras used by the
+// extension experiments.
+//
+// A Pattern maps a source node to a destination (randomly or through a
+// fixed permutation); a source combines a pattern with an injection process
+// (static: a fixed number of packets per node; dynamic: a Bernoulli attempt
+// per cycle with rate lambda) and implements sim.TrafficSource.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Pattern produces destinations for injected packets.
+type Pattern interface {
+	// Name returns a short identifier such as "random" or "complement".
+	Name() string
+	// Dest returns the destination of a packet injected at src. Random
+	// patterns draw from r; permutation patterns ignore it.
+	Dest(src int32, r *xrand.RNG) int32
+}
+
+// Random is the paper's "Random Routing" pattern: each packet's destination
+// is uniform over all nodes except the source. It does not, in general,
+// form a permutation.
+type Random struct {
+	Nodes int
+}
+
+func (Random) Name() string { return "random" }
+
+func (p Random) Dest(src int32, r *xrand.RNG) int32 {
+	d := int32(r.Intn(p.Nodes - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Complement sends every packet from a node to its bitwise complement
+// (hypercube addresses of width Bits).
+type Complement struct {
+	Bits int
+}
+
+func (Complement) Name() string { return "complement" }
+
+func (p Complement) Dest(src int32, _ *xrand.RNG) int32 {
+	return ^src & int32(1<<p.Bits-1)
+}
+
+// Transpose swaps the two halves of the address; with an odd number of bits
+// the central bit stays in place (Section 7.1).
+type Transpose struct {
+	Bits int
+}
+
+func (Transpose) Name() string { return "transpose" }
+
+func (p Transpose) Dest(src int32, _ *xrand.RNG) int32 {
+	n := p.Bits
+	h := n / 2
+	low := src & (1<<h - 1)
+	high := src >> (n - h) // top h bits
+	mid := src >> h & (1<<(n-2*h) - 1)
+	return low<<(n-h) | mid<<h | high
+}
+
+// Leveled is the paper's "Leveled Permutation": a random permutation in
+// which every node sends to a node of its own Hamming weight. [FCS90]
+// reported congestion for such permutations under oblivious minimal
+// routing, which makes them a good adversary for adaptivity.
+type Leveled struct {
+	perm []int32
+}
+
+// NewLeveled builds a leveled permutation of the 2^width hypercube nodes
+// using the given seed: within each Hamming-weight level the nodes are
+// permuted uniformly at random.
+func NewLeveled(width int, seed int64) *Leveled {
+	n := 1 << width
+	byLevel := make([][]int32, width+1)
+	for u := 0; u < n; u++ {
+		l := bits.OnesCount32(uint32(u))
+		byLevel[l] = append(byLevel[l], int32(u))
+	}
+	perm := make([]int32, n)
+	r := xrand.New(seed, -1)
+	for _, nodes := range byLevel {
+		idx := make([]int32, len(nodes))
+		r.Perm(idx)
+		for i, u := range nodes {
+			perm[u] = nodes[idx[i]]
+		}
+	}
+	return &Leveled{perm: perm}
+}
+
+func (*Leveled) Name() string { return "leveled" }
+
+func (p *Leveled) Dest(src int32, _ *xrand.RNG) int32 { return p.perm[src] }
+
+// Permutation wraps an arbitrary fixed permutation (σ(i) must be a
+// permutation of 0..len-1).
+type Permutation struct {
+	Label string
+	Sigma []int32
+}
+
+func (p *Permutation) Name() string { return p.Label }
+
+func (p *Permutation) Dest(src int32, _ *xrand.RNG) int32 { return p.Sigma[src] }
+
+// Validate checks Sigma is a permutation.
+func (p *Permutation) Validate() error {
+	seen := make([]bool, len(p.Sigma))
+	for _, d := range p.Sigma {
+		if d < 0 || int(d) >= len(p.Sigma) || seen[d] {
+			return fmt.Errorf("traffic: %s: not a permutation", p.Label)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// BitReversal reverses the Bits-bit address: the classic adversary for
+// dimension-ordered routing.
+type BitReversal struct {
+	Bits int
+}
+
+func (BitReversal) Name() string { return "bit-reversal" }
+
+func (p BitReversal) Dest(src int32, _ *xrand.RNG) int32 {
+	return int32(bits.Reverse32(uint32(src)) >> (32 - p.Bits))
+}
+
+// MeshTranspose sends (x, y) to (y, x) on a side x side 2-dimensional
+// mesh or torus with row-major node numbering.
+type MeshTranspose struct {
+	Side int
+}
+
+func (MeshTranspose) Name() string { return "mesh-transpose" }
+
+func (p MeshTranspose) Dest(src int32, _ *xrand.RNG) int32 {
+	x := int(src) % p.Side
+	y := int(src) / p.Side
+	return int32(y + x*p.Side)
+}
+
+// Hotspot sends each packet to a fixed hot node with probability Fraction
+// and uniformly at random otherwise. An extension workload for studying how
+// adaptivity spreads contention.
+type Hotspot struct {
+	Nodes    int
+	Hot      int32
+	Fraction float64
+}
+
+func (Hotspot) Name() string { return "hotspot" }
+
+func (p Hotspot) Dest(src int32, r *xrand.RNG) int32 {
+	if r.Coin(p.Fraction) && p.Hot != src {
+		return p.Hot
+	}
+	d := int32(r.Intn(p.Nodes - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// FixedDestinations returns the sorted list of distinct destinations a
+// permutation pattern produces; a helper for tests.
+func FixedDestinations(p Pattern, nodes int) []int32 {
+	var r xrand.RNG
+	set := make(map[int32]bool)
+	for u := 0; u < nodes; u++ {
+		set[p.Dest(int32(u), &r)] = true
+	}
+	out := make([]int32, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

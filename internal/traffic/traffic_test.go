@@ -1,0 +1,239 @@
+package traffic
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestRandomExcludesSelf(t *testing.T) {
+	p := Random{Nodes: 16}
+	r := xrand.New(7, 3)
+	for i := 0; i < 1000; i++ {
+		d := p.Dest(3, &r)
+		if d == 3 || d < 0 || d >= 16 {
+			t.Fatalf("bad destination %d", d)
+		}
+	}
+}
+
+func TestRandomCoversAllDestinations(t *testing.T) {
+	p := Random{Nodes: 8}
+	r := xrand.New(1, 0)
+	seen := make(map[int32]int)
+	for i := 0; i < 8000; i++ {
+		seen[p.Dest(0, &r)]++
+	}
+	if len(seen) != 7 {
+		t.Fatalf("covered %d destinations, want 7", len(seen))
+	}
+	for d, c := range seen {
+		if c < 800 {
+			t.Errorf("destination %d drawn only %d times out of 8000", d, c)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	p := Complement{Bits: 4}
+	cases := map[int32]int32{0b0000: 0b1111, 0b1010: 0b0101, 0b1111: 0b0000}
+	for src, want := range cases {
+		if got := p.Dest(src, nil); got != want {
+			t.Errorf("Dest(%04b) = %04b, want %04b", src, got, want)
+		}
+	}
+}
+
+func TestTransposeEven(t *testing.T) {
+	p := Transpose{Bits: 4}
+	// b3 b2 b1 b0 -> b1 b0 b3 b2
+	cases := map[int32]int32{0b1100: 0b0011, 0b1001: 0b0110, 0b1111: 0b1111}
+	for src, want := range cases {
+		if got := p.Dest(src, nil); got != want {
+			t.Errorf("Dest(%04b) = %04b, want %04b", src, got, want)
+		}
+	}
+}
+
+func TestTransposeOdd(t *testing.T) {
+	p := Transpose{Bits: 5}
+	// b4 b3 b2 b1 b0 -> b1 b0 b2 b4 b3 (central bit b2 unchanged).
+	if got := p.Dest(0b11000, nil); got != 0b00011 {
+		t.Errorf("Dest(11000) = %05b, want 00011", got)
+	}
+	if got := p.Dest(0b00100, nil); got != 0b00100 {
+		t.Errorf("central bit moved: Dest(00100) = %05b", got)
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7} {
+		p := Transpose{Bits: n}
+		if err := quick.Check(func(u uint16) bool {
+			src := int32(u) & (1<<n - 1)
+			return p.Dest(p.Dest(src, nil), nil) == src
+		}, nil); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestLeveledIsLevelPreservingPermutation(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		p := NewLeveled(n, 42)
+		nodes := 1 << n
+		seen := make([]bool, nodes)
+		for u := 0; u < nodes; u++ {
+			d := p.Dest(int32(u), nil)
+			if seen[d] {
+				t.Fatalf("n=%d: destination %d repeated", n, d)
+			}
+			seen[d] = true
+			if bits.OnesCount32(uint32(u)) != bits.OnesCount32(uint32(d)) {
+				t.Fatalf("n=%d: %b and %b differ in level", n, u, d)
+			}
+		}
+	}
+}
+
+func TestLeveledSeedsDiffer(t *testing.T) {
+	a, b := NewLeveled(8, 1), NewLeveled(8, 2)
+	same := true
+	for u := int32(0); u < 256; u++ {
+		if a.Dest(u, nil) != b.Dest(u, nil) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two seeds produced the same leveled permutation")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p := BitReversal{Bits: 5}
+	if got := p.Dest(0b10110, nil); got != 0b01101 {
+		t.Errorf("Dest(10110) = %05b, want 01101", got)
+	}
+}
+
+func TestMeshTranspose(t *testing.T) {
+	p := MeshTranspose{Side: 4}
+	// (x,y)=(3,1) at node 1*4+3=7 -> (1,3) at node 3*4+1=13.
+	if got := p.Dest(7, nil); got != 13 {
+		t.Errorf("Dest(7) = %d, want 13", got)
+	}
+	// Permutation property over the whole mesh.
+	perm := &Permutation{Label: "t", Sigma: make([]int32, 16)}
+	for u := int32(0); u < 16; u++ {
+		perm.Sigma[u] = p.Dest(u, nil)
+	}
+	if err := perm.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationValidate(t *testing.T) {
+	bad := &Permutation{Label: "bad", Sigma: []int32{0, 0, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation error for repeated destination")
+	}
+	good := &Permutation{Label: "good", Sigma: []int32{2, 0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	p := Hotspot{Nodes: 64, Hot: 5, Fraction: 0.5}
+	r := xrand.New(9, 1)
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		if p.Dest(1, &r) == 5 {
+			hot++
+		}
+	}
+	// ~50% (+ the uniform component's 1/63 of the rest).
+	if hot < 4500 || hot > 6000 {
+		t.Errorf("hot destination drawn %d/10000 times, want ~5100", hot)
+	}
+}
+
+func TestStaticSourceLifecycle(t *testing.T) {
+	s := NewStaticSource(Complement{Bits: 3}, 8, 2, 1)
+	if s.Exhausted(0) {
+		t.Fatal("fresh source already exhausted")
+	}
+	if !s.Wants(0, 0) {
+		t.Fatal("fresh source does not want to inject")
+	}
+	if got := s.Take(0, 0); got != 7 {
+		t.Fatalf("Take = %d, want 7", got)
+	}
+	s.Take(0, 1)
+	if s.Wants(0, 2) || !s.Exhausted(0) {
+		t.Error("source not exhausted after taking the allotment")
+	}
+	if got := s.TotalRemaining(); got != 14 {
+		t.Errorf("TotalRemaining = %d, want 14", got)
+	}
+	// A failed attempt (Wants without Take) must not consume packets.
+	s.Wants(1, 3)
+	s.Wants(1, 4)
+	if s.Exhausted(1) {
+		t.Error("Wants consumed the allotment")
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := NewBernoulliSource(Random{Nodes: 4}, 4, 0.3, 11)
+	attempts := 0
+	for c := int64(0); c < 10000; c++ {
+		if s.Wants(2, c) {
+			attempts++
+		}
+	}
+	if attempts < 2700 || attempts > 3300 {
+		t.Errorf("lambda=0.3 produced %d/10000 attempts", attempts)
+	}
+	if s.Exhausted(2) {
+		t.Error("dynamic source claims exhaustion")
+	}
+}
+
+func TestBernoulliLambdaOneAlwaysWants(t *testing.T) {
+	s := NewBernoulliSource(Random{Nodes: 4}, 4, 1.0, 11)
+	for c := int64(0); c < 100; c++ {
+		if !s.Wants(0, c) {
+			t.Fatal("lambda=1 skipped an attempt")
+		}
+	}
+}
+
+func TestRecordingSource(t *testing.T) {
+	inner := NewStaticSource(Complement{Bits: 2}, 4, 1, 1)
+	rec := &RecordingSource{Inner: inner}
+	for u := int32(0); u < 4; u++ {
+		if rec.Wants(u, 0) {
+			rec.Take(u, 0)
+		}
+	}
+	if len(rec.Taken) != 4 {
+		t.Fatalf("recorded %d packets, want 4", len(rec.Taken))
+	}
+	if rec.Taken[1].Dst != 2 {
+		t.Errorf("packet from 1 recorded dst %d, want 2", rec.Taken[1].Dst)
+	}
+	if !rec.Exhausted(0) {
+		t.Error("recording source did not forward Exhausted")
+	}
+}
+
+func TestFixedDestinations(t *testing.T) {
+	ds := FixedDestinations(Complement{Bits: 2}, 4)
+	if len(ds) != 4 {
+		t.Fatalf("complement on 4 nodes covers %d destinations, want 4", len(ds))
+	}
+}

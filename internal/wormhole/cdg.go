@@ -1,0 +1,225 @@
+package wormhole
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CDG is the (conservative) escape channel dependency graph of a wormhole
+// route, the wormhole analogue of the packet QDG of Section 2 / [DS86a]: a
+// vertex per (directed link, escape virtual channel), and an edge e1 -> e2
+// whenever some reachable header trajectory allocates e1 and later requests
+// e2 — a superset of both Duato's direct and indirect dependencies, since a
+// worm may hold every channel back to its tail while requesting the next.
+// If this conservative graph is acyclic and the escape sub-network alone
+// delivers every (src, dst) pair, the route is deadlock-free.
+//
+// Like the QDG builder, the exploration is exhaustive over header states,
+// so it is meant for small instances.
+type CDG struct {
+	Route   Route
+	Escapes []int32           // escape channel ids, sorted
+	Edges   map[[2]int32]bool // e1 -> e2 dependencies
+}
+
+// headerState is a header situation during exploration.
+type headerState struct {
+	node  int32
+	state uint32
+	dst   int32
+}
+
+// BuildCDG explores every header trajectory of the route and collects the
+// escape channel dependencies.
+func BuildCDG(r Route) (*CDG, error) {
+	t := r.Topology()
+	n := t.Nodes()
+	vcs := r.NumVCs()
+	chanID := func(node int32, h Hop) int32 {
+		return (node*int32(t.Ports())+int32(h.Port))*int32(vcs) + int32(h.VC)
+	}
+
+	// Pass 1: reachable header states and, per state, its escape requests.
+	seen := make(map[headerState]bool)
+	var stack []headerState
+	push := func(s headerState) {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			push(headerState{int32(src), r.Inject(int32(src), int32(dst)), int32(dst)})
+		}
+	}
+	type edgeOut struct {
+		next headerState
+		esc  int32 // escape channel allocated by this hop, or -1
+	}
+	succ := make(map[headerState][]edgeOut)
+	escSet := make(map[int32]bool)
+	var buf []Hop
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.node == s.dst {
+			continue
+		}
+		buf = r.Candidates(s.node, s.state, s.dst, buf[:0])
+		if len(buf) == 0 {
+			return nil, fmt.Errorf("wormhole: %s: header stranded at node %d for %d", r.Name(), s.node, s.dst)
+		}
+		hasEscape := false
+		for _, h := range buf {
+			next := headerState{int32(t.Neighbor(int(s.node), int(h.Port))), h.State, s.dst}
+			esc := int32(-1)
+			if h.Escape {
+				hasEscape = true
+				esc = chanID(s.node, h)
+				escSet[esc] = true
+			}
+			succ[s] = append(succ[s], edgeOut{next, esc})
+			push(next)
+		}
+		if !hasEscape {
+			return nil, fmt.Errorf("wormhole: %s: no escape candidate at node %d (state %#x) for %d",
+				r.Name(), s.node, s.state, s.dst)
+		}
+	}
+
+	// Pass 2: for every escape allocation, every escape request reachable
+	// downstream becomes a dependency edge.
+	g := &CDG{Route: r, Edges: make(map[[2]int32]bool)}
+	for e := range escSet {
+		g.Escapes = append(g.Escapes, e)
+	}
+	sort.Slice(g.Escapes, func(i, j int) bool { return g.Escapes[i] < g.Escapes[j] })
+
+	for _, outs := range succ {
+		for _, o := range outs {
+			if o.esc < 0 {
+				continue
+			}
+			// BFS downstream from o.next collecting escape requests.
+			visited := map[headerState]bool{o.next: true}
+			frontier := []headerState{o.next}
+			for len(frontier) > 0 {
+				cur := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				for _, o2 := range succ[cur] {
+					if o2.esc >= 0 {
+						g.Edges[[2]int32{o.esc, o2.esc}] = true
+					}
+					if !visited[o2.next] {
+						visited[o2.next] = true
+						frontier = append(frontier, o2.next)
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// CheckAcyclic verifies the escape dependency graph is a DAG, returning one
+// cycle on failure.
+func (g *CDG) CheckAcyclic() error {
+	adj := make(map[int32][]int32)
+	for e := range g.Edges {
+		if e[0] == e[1] {
+			return fmt.Errorf("wormhole: %s: escape channel %d depends on itself", g.Route.Name(), e[0])
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int32]int)
+	var stack []int32
+	var cycle []int32
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		color[v] = gray
+		stack = append(stack, v)
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				for i, x := range stack {
+					if x == w {
+						cycle = append([]int32(nil), stack[i:]...)
+						return true
+					}
+				}
+			case white:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[v] = black
+		return false
+	}
+	for _, v := range g.Escapes {
+		if color[v] == white && dfs(v) {
+			return fmt.Errorf("wormhole: %s: escape channel dependency cycle %v", g.Route.Name(), cycle)
+		}
+	}
+	return nil
+}
+
+// VerifyEscapeDelivers walks every (src, dst) pair using only escape hops
+// and checks the header reaches the destination within MaxHops: the escape
+// sub-network is connected on its own.
+func VerifyEscapeDelivers(r Route) error {
+	t := r.Topology()
+	n := t.Nodes()
+	var buf []Hop
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			node, state := int32(src), r.Inject(int32(src), int32(dst))
+			hops := 0
+			for node != int32(dst) {
+				buf = r.Candidates(node, state, int32(dst), buf[:0])
+				took := false
+				for _, h := range buf {
+					if h.Escape {
+						node = int32(t.Neighbor(int(node), int(h.Port)))
+						state = h.State
+						hops++
+						took = true
+						break
+					}
+				}
+				if !took {
+					return fmt.Errorf("wormhole: %s: no escape hop at node %d for %d", r.Name(), node, dst)
+				}
+				if hops > r.MaxHops(int32(src), int32(dst)) {
+					return fmt.Errorf("wormhole: %s: escape walk %d->%d exceeded MaxHops", r.Name(), src, dst)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Verify runs the full wormhole deadlock-freedom certification.
+func Verify(r Route) error {
+	if err := VerifyEscapeDelivers(r); err != nil {
+		return err
+	}
+	g, err := BuildCDG(r)
+	if err != nil {
+		return err
+	}
+	return g.CheckAcyclic()
+}

@@ -1,0 +1,68 @@
+package wormhole
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestVerifyAllRoutes certifies the shipping routes: escape connectivity
+// plus acyclic escape channel dependencies.
+func TestVerifyAllRoutes(t *testing.T) {
+	for _, r := range []Route{
+		NewHypercubeECube(3),
+		NewHypercubeECube(4),
+		NewHypercubeAdaptive(3),
+		NewHypercubeAdaptive(4),
+		NewTorusDOR(4),
+		NewTorusDOR(5),
+		NewTorusAdaptive(4),
+		NewTorusAdaptive(5),
+		NewTorusAdaptiveShape(3, 4, 3),
+		NewHypercubeNonMinimal(3, 2),
+		NewHypercubeNonMinimal(4, 1),
+	} {
+		r := r
+		t.Run(r.Name()+"/"+r.Topology().Name(), func(t *testing.T) {
+			if err := Verify(r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCDGCatchesBrokenRing: the no-dateline ring route must fail the
+// acyclicity check (its single channel around the ring is a cycle).
+func TestCDGCatchesBrokenRing(t *testing.T) {
+	ring := &brokenRing{torus: topology.NewTorus(6)}
+	g, err := BuildCDG(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckAcyclic(); err == nil {
+		t.Fatal("broken ring certified acyclic")
+	} else if !strings.Contains(err.Error(), "cycle") && !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCDGHasDependencies sanity-checks the builder produces a non-trivial
+// graph for a real route.
+func TestCDGHasDependencies(t *testing.T) {
+	g, err := BuildCDG(NewTorusDOR(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Escapes) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("empty CDG: %d channels, %d edges", len(g.Escapes), len(g.Edges))
+	}
+	// Dateline structure: both VC 0 and VC 1 channels must appear.
+	vcs := map[int32]bool{}
+	for _, e := range g.Escapes {
+		vcs[e%2] = true
+	}
+	if !vcs[0] || !vcs[1] {
+		t.Error("dateline escape channels missing a VC level")
+	}
+}

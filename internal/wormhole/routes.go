@@ -1,0 +1,298 @@
+package wormhole
+
+import (
+	"math/bits"
+
+	"repro/internal/topology"
+)
+
+// HypercubeECube is oblivious dimension-order wormhole routing on the
+// hypercube — the classic deadlock-free baseline of [DS86a]: one virtual
+// channel per link suffices because dimensions are crossed in increasing
+// order, which makes the channel dependency graph acyclic.
+type HypercubeECube struct {
+	cube *topology.Hypercube
+}
+
+// NewHypercubeECube returns the oblivious wormhole baseline.
+func NewHypercubeECube(dims int) *HypercubeECube {
+	return &HypercubeECube{cube: topology.NewHypercube(dims)}
+}
+
+func (h *HypercubeECube) Name() string                 { return "wh-hypercube-ecube" }
+func (h *HypercubeECube) Topology() topology.Topology  { return h.cube }
+func (h *HypercubeECube) NumVCs() int                  { return 1 }
+func (h *HypercubeECube) Inject(src, dst int32) uint32 { return 0 }
+func (h *HypercubeECube) Minimal() bool                { return true }
+func (h *HypercubeECube) MaxHops(src, dst int32) int   { return h.cube.Distance(int(src), int(dst)) }
+
+func (h *HypercubeECube) Candidates(node int32, state uint32, dst int32, buf []Hop) []Hop {
+	diff := uint32(node ^ dst)
+	if diff == 0 {
+		return buf
+	}
+	t := bits.TrailingZeros32(diff)
+	return append(buf, Hop{Port: int16(t), VC: 0, Escape: true})
+}
+
+// HypercubeAdaptive is fully-adaptive minimal wormhole routing on the
+// hypercube in the style [GPS91] describes for "minimal and non-minimal
+// adaptive, deadlock- and livelock-free worm-hole routing on the
+// hypercube": an adaptive virtual channel on every link offers every
+// minimal dimension, and a dimension-ordered escape channel keeps the
+// scheme deadlock-free (the escape sub-network's dependency graph is
+// acyclic, and a blocked header can always fall back to it). Two virtual
+// channels per link.
+type HypercubeAdaptive struct {
+	cube *topology.Hypercube
+}
+
+// NewHypercubeAdaptive returns the adaptive wormhole hypercube scheme.
+func NewHypercubeAdaptive(dims int) *HypercubeAdaptive {
+	return &HypercubeAdaptive{cube: topology.NewHypercube(dims)}
+}
+
+func (h *HypercubeAdaptive) Name() string                 { return "wh-hypercube-adaptive" }
+func (h *HypercubeAdaptive) Topology() topology.Topology  { return h.cube }
+func (h *HypercubeAdaptive) NumVCs() int                  { return 2 }
+func (h *HypercubeAdaptive) Inject(src, dst int32) uint32 { return 0 }
+func (h *HypercubeAdaptive) Minimal() bool                { return true }
+func (h *HypercubeAdaptive) MaxHops(src, dst int32) int   { return h.cube.Distance(int(src), int(dst)) }
+
+func (h *HypercubeAdaptive) Candidates(node int32, state uint32, dst int32, buf []Hop) []Hop {
+	diff := uint32(node ^ dst)
+	if diff == 0 {
+		return buf
+	}
+	// Escape: the dimension-ordered hop on VC 0.
+	low := bits.TrailingZeros32(diff)
+	buf = append(buf, Hop{Port: int16(low), VC: 0, Escape: true})
+	// Adaptive: every minimal dimension on VC 1.
+	for d := diff; d != 0; d &= d - 1 {
+		t := bits.TrailingZeros32(d)
+		buf = append(buf, Hop{Port: int16(t), VC: 1})
+	}
+	return buf
+}
+
+// torus state encoding: bits 0..k-1 direction (+1 if set), bits k..2k-1
+// "crossed the wraparound edge of dimension i".
+func torusDirs(state uint32, k int) uint32    { return state & (1<<k - 1) }
+func torusCrossed(state uint32, k int) uint32 { return state >> k & (1<<k - 1) }
+
+// TorusDOR is dimension-order wormhole routing on the k-dimensional torus
+// with the [DS86a] dateline scheme: each directed ring has two virtual
+// channels, and a worm moves from channel 0 to channel 1 when it crosses
+// the ring's wraparound edge, which breaks the ring's channel cycle. Two
+// virtual channels per link; the baseline the paper's torus remarks build
+// on.
+type TorusDOR struct {
+	torus *topology.Torus
+}
+
+// NewTorusDOR returns the dateline dimension-order baseline on a square
+// 2-dimensional torus; NewTorusDORShape accepts arbitrary k-dimensional
+// shapes.
+func NewTorusDOR(side int) *TorusDOR {
+	return &TorusDOR{torus: topology.NewTorus2D(side)}
+}
+
+// NewTorusDORShape returns the baseline on an arbitrary torus (at most 16
+// dimensions, the routing state's direction/crossed bit budget).
+func NewTorusDORShape(shape ...int) *TorusDOR {
+	t := topology.NewTorus(shape...)
+	if t.Dims() > 16 {
+		panic("wormhole: torus routes support at most 16 dimensions")
+	}
+	return &TorusDOR{torus: t}
+}
+
+func (t *TorusDOR) Name() string                { return "wh-torus-dor" }
+func (t *TorusDOR) Topology() topology.Topology { return t.torus }
+func (t *TorusDOR) NumVCs() int                 { return 2 }
+func (t *TorusDOR) Minimal() bool               { return true }
+func (t *TorusDOR) MaxHops(src, dst int32) int  { return t.torus.Distance(int(src), int(dst)) }
+
+func (t *TorusDOR) Inject(src, dst int32) uint32 { return torusInject(t.torus, src, dst) }
+
+func (t *TorusDOR) Candidates(node int32, state uint32, dst int32, buf []Hop) []Hop {
+	h, ok := torusDOREscape(t.torus, node, state, dst)
+	if !ok {
+		return buf
+	}
+	return append(buf, h)
+}
+
+// TorusAdaptive is fully-adaptive minimal wormhole routing on the
+// k-dimensional torus: an adaptive virtual channel offers every remaining
+// minimal dimension, and the dateline dimension-order sub-network is the
+// escape. Three virtual channels per link — the "very moderate hardware
+// resources" regime [GPS91] claims against [LH91]'s exponential channel
+// count. Direction ties on even sides are fixed at injection.
+type TorusAdaptive struct {
+	torus *topology.Torus
+}
+
+// NewTorusAdaptive returns the adaptive wormhole scheme on a square
+// 2-dimensional torus; NewTorusAdaptiveShape accepts arbitrary shapes.
+func NewTorusAdaptive(side int) *TorusAdaptive {
+	return &TorusAdaptive{torus: topology.NewTorus2D(side)}
+}
+
+// NewTorusAdaptiveShape returns the adaptive scheme on an arbitrary torus
+// (at most 16 dimensions).
+func NewTorusAdaptiveShape(shape ...int) *TorusAdaptive {
+	t := topology.NewTorus(shape...)
+	if t.Dims() > 16 {
+		panic("wormhole: torus routes support at most 16 dimensions")
+	}
+	return &TorusAdaptive{torus: t}
+}
+
+func (t *TorusAdaptive) Name() string                { return "wh-torus-adaptive" }
+func (t *TorusAdaptive) Topology() topology.Topology { return t.torus }
+func (t *TorusAdaptive) NumVCs() int                 { return 3 }
+func (t *TorusAdaptive) Minimal() bool               { return true }
+func (t *TorusAdaptive) MaxHops(src, dst int32) int  { return t.torus.Distance(int(src), int(dst)) }
+
+func (t *TorusAdaptive) Inject(src, dst int32) uint32 { return torusInject(t.torus, src, dst) }
+
+func (t *TorusAdaptive) Candidates(node int32, state uint32, dst int32, buf []Hop) []Hop {
+	if h, ok := torusDOREscape(t.torus, node, state, dst); ok {
+		buf = append(buf, h)
+	}
+	// Adaptive channel (VC 2) on every remaining minimal dimension.
+	k := t.torus.Dims()
+	dirs := torusDirs(state, k)
+	for i := 0; i < k; i++ {
+		c, z := t.torus.Coord(int(node), i), t.torus.Coord(int(dst), i)
+		if c == z {
+			continue
+		}
+		port, next := torusStep(t.torus, node, dirs, i)
+		buf = append(buf, Hop{Port: port, VC: 2, State: torusNextState(t.torus, state, node, next, i)})
+	}
+	return buf
+}
+
+// torusInject fixes the minimal travel direction per dimension (ties on
+// even sides alternate deterministically with the endpoints).
+func torusInject(torus *topology.Torus, src, dst int32) uint32 {
+	var dirs uint32
+	for i := 0; i < torus.Dims(); i++ {
+		side := torus.Shape()[i]
+		cs, cd := torus.Coord(int(src), i), torus.Coord(int(dst), i)
+		fwd := ((cd-cs)%side + side) % side
+		if fwd == 0 {
+			continue
+		}
+		if fwd*2 < side || fwd*2 == side && (cs+cd+i)%2 == 0 {
+			dirs |= 1 << i
+		}
+	}
+	return dirs
+}
+
+// torusStep returns the port of one minimal step in dimension i and the
+// node it reaches.
+func torusStep(torus *topology.Torus, node int32, dirs uint32, i int) (int16, int32) {
+	port := int16(2 * i)
+	if dirs&(1<<i) == 0 {
+		port++
+	}
+	return port, int32(torus.Neighbor(int(node), int(port)))
+}
+
+// torusNextState updates the crossed bit when the step wraps around.
+func torusNextState(torus *topology.Torus, state uint32, node, next int32, i int) uint32 {
+	k := torus.Dims()
+	c, nc := torus.Coord(int(node), i), torus.Coord(int(next), i)
+	if c == torus.Shape()[i]-1 && nc == 0 || c == 0 && nc == torus.Shape()[i]-1 {
+		state |= 1 << (k + i)
+	}
+	return state
+}
+
+// torusDOREscape returns the dimension-order escape hop: correct the lowest
+// unfinished dimension in the fixed direction, on escape VC 0 before the
+// ring's wraparound edge has been crossed and VC 1 after.
+func torusDOREscape(torus *topology.Torus, node int32, state uint32, dst int32) (Hop, bool) {
+	k := torus.Dims()
+	dirs := torusDirs(state, k)
+	crossed := torusCrossed(state, k)
+	for i := 0; i < k; i++ {
+		c, z := torus.Coord(int(node), i), torus.Coord(int(dst), i)
+		if c == z {
+			continue
+		}
+		port, next := torusStep(torus, node, dirs, i)
+		vc := uint8(0)
+		if crossed&(1<<i) != 0 {
+			vc = 1
+		}
+		return Hop{Port: port, VC: vc, State: torusNextState(torus, state, node, next, i), Escape: true}, true
+	}
+	return Hop{}, false
+}
+
+// HypercubeNonMinimal extends HypercubeAdaptive with bounded misrouting —
+// the non-minimal adaptive wormhole routing [GPS91] also covers. The
+// adaptive virtual channel may cross a *correct* dimension up to MaxMis
+// times per worm (each misroute later costs one corrective hop), which lets
+// a header sidestep a congested subcube entirely; the misroute budget in
+// the routing state guarantees livelock freedom.
+//
+// Misroutes are restricted to dimensions strictly above the current lowest
+// incorrect dimension. That keeps the sequence of escape (dimension-order)
+// channels a worm can ever request strictly increasing in dimension — a
+// misroute can only dirty dimensions above everything already escaped — so
+// the escape channel dependency graph stays acyclic even through misrouted
+// detours. The CDG checker rejects the unrestricted variant: a worm could
+// leave and re-request an escape channel its own body still holds.
+type HypercubeNonMinimal struct {
+	cube   *topology.Hypercube
+	maxMis int
+}
+
+// NewHypercubeNonMinimal returns the non-minimal scheme with the given
+// misroute budget per worm (>= 0; 0 degenerates to the minimal scheme).
+func NewHypercubeNonMinimal(dims, maxMis int) *HypercubeNonMinimal {
+	if maxMis < 0 {
+		panic("wormhole: negative misroute budget")
+	}
+	return &HypercubeNonMinimal{cube: topology.NewHypercube(dims), maxMis: maxMis}
+}
+
+func (h *HypercubeNonMinimal) Name() string                 { return "wh-hypercube-nonminimal" }
+func (h *HypercubeNonMinimal) Topology() topology.Topology  { return h.cube }
+func (h *HypercubeNonMinimal) NumVCs() int                  { return 2 }
+func (h *HypercubeNonMinimal) Inject(src, dst int32) uint32 { return 0 } // misroutes used
+func (h *HypercubeNonMinimal) Minimal() bool                { return false }
+
+func (h *HypercubeNonMinimal) MaxHops(src, dst int32) int {
+	// Every misroute adds the detour hop plus its later correction.
+	return h.cube.Distance(int(src), int(dst)) + 2*h.maxMis
+}
+
+func (h *HypercubeNonMinimal) Candidates(node int32, state uint32, dst int32, buf []Hop) []Hop {
+	diff := uint32(node ^ dst)
+	if diff == 0 {
+		return buf
+	}
+	low := bits.TrailingZeros32(diff)
+	buf = append(buf, Hop{Port: int16(low), VC: 0, State: state, Escape: true})
+	for d := diff; d != 0; d &= d - 1 {
+		t := bits.TrailingZeros32(d)
+		buf = append(buf, Hop{Port: int16(t), VC: 1, State: state})
+	}
+	if int(state) < h.maxMis {
+		// Misroutes: cross a correct dimension above the lowest incorrect
+		// one, spending budget.
+		for t := low + 1; t < h.cube.Dims(); t++ {
+			if diff&(1<<t) == 0 {
+				buf = append(buf, Hop{Port: int16(t), VC: 1, State: state + 1})
+			}
+		}
+	}
+	return buf
+}

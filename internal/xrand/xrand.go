@@ -1,0 +1,50 @@
+// Package xrand provides the tiny deterministic pseudo-random generator
+// shared by the simulator and the traffic generators: a splitmix64 stream
+// per node. Keeping one generator per node (rather than one per run) makes
+// every simulation bit-reproducible regardless of execution order or worker
+// count, which the determinism tests rely on.
+package xrand
+
+// RNG is a splitmix64 state. The zero value is a valid (if fixed) stream;
+// use New to derive decorrelated per-node streams from a run seed.
+type RNG uint64
+
+// New derives a per-node generator from a run seed.
+func New(seed int64, node int32) RNG {
+	r := RNG(uint64(seed)*0x9e3779b97f4a7c15 + uint64(uint32(node))*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+	r.Next() // decorrelate adjacent nodes
+	return r
+}
+
+// Next returns the next 64-bit value in the stream.
+func (r *RNG) Next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Coin returns true with probability p (clamped to [0,1]).
+func (r *RNG) Coin(p float64) bool {
+	return float64(r.Next()>>11)/(1<<53) < p
+}
+
+// Perm fills out with a uniform permutation of 0..len(out)-1.
+func (r *RNG) Perm(out []int32) {
+	for i := range out {
+		out[i] = int32(i)
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,107 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := New(7, 3), New(7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed/node diverged")
+		}
+	}
+	c, d := New(7, 4), New(8, 3)
+	if x := New(7, 3); x.Next() == c.Next() && x.Next() == d.Next() {
+		t.Error("distinct streams look identical")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1, 0)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("value %d drawn %d/70000 times; generator is badly skewed", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r := New(1, 0)
+	r.Intn(0)
+}
+
+func TestCoinRate(t *testing.T) {
+	r := New(2, 5)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if r.Coin(p) {
+				hits++
+			}
+		}
+		if got := float64(hits) / n; math.Abs(got-p) > 0.02 {
+			t.Errorf("Coin(%.1f) rate = %.3f", p, got)
+		}
+	}
+	if r.Coin(0) {
+		t.Error("Coin(0) returned true")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed int64, sz uint8) bool {
+		n := int(sz%32) + 1
+		r := New(seed, 0)
+		out := make([]int32, n)
+		r.Perm(out)
+		seen := make([]bool, n)
+		for _, v := range out {
+			if v < 0 || int(v) >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermUniformish(t *testing.T) {
+	// Each position should receive each value roughly uniformly.
+	const n, trials = 4, 24000
+	counts := [n][n]int{}
+	r := New(11, 0)
+	out := make([]int32, n)
+	for i := 0; i < trials; i++ {
+		r.Perm(out)
+		for pos, v := range out {
+			counts[pos][v]++
+		}
+	}
+	want := trials / n
+	for pos := 0; pos < n; pos++ {
+		for v := 0; v < n; v++ {
+			if c := counts[pos][v]; c < want*8/10 || c > want*12/10 {
+				t.Errorf("position %d value %d: %d draws, want ~%d", pos, v, c, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// TestSoakRandomConfigurations drives seeded-random combinations of
+// algorithm, pattern, policy, queue capacity, engine and injection model
+// through the public API and requires every run to complete without
+// deadlock and without losing packets. It is the repository's fuzz-style
+// robustness net; skipped under -short.
+func TestSoakRandomConfigurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	algos := []string{
+		"hypercube-adaptive:6", "hypercube-hung:6", "hypercube-ecube:5",
+		"mesh-adaptive:6x6", "mesh-twophase:6x6", "mesh-xy:6x6",
+		"shuffle-adaptive:5", "shuffle-static:5", "shuffle-eager:5",
+		"torus-adaptive:5x5", "torus-adaptive:6x6", "ccc-adaptive:4",
+		"mesh-adaptive:4x3x3", "torus-adaptive:4x3x3",
+	}
+	policies := []repro.Policy{
+		repro.PolicyFirstFree, repro.PolicyRandom,
+		repro.PolicyStaticFirst, repro.PolicyLastFree,
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for i := 0; i < 60; i++ {
+		spec := algos[rng.Intn(len(algos))]
+		pol := policies[rng.Intn(len(policies))]
+		cap := 2 + rng.Intn(6)
+		perNode := 1 + rng.Intn(8)
+		seed := rng.Int63()
+		headOnly := rng.Intn(4) == 0
+		atomic := rng.Intn(4) == 0
+		name := fmt.Sprintf("%02d/%s/pol=%v/cap=%d/per=%d/head=%v/atomic=%v",
+			i, spec, pol, cap, perNode, headOnly, atomic)
+		t.Run(name, func(t *testing.T) {
+			algo, err := repro.NewAlgorithm(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pat, err := repro.NewPattern("random", algo, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := repro.Config{
+				Algorithm: algo, QueueCap: cap, Policy: pol,
+				Seed: seed, HeadOnly: headOnly,
+			}
+			src := repro.NewStaticTraffic(pat, algo, perNode, seed+1)
+			want := int64(algo.Topology().Nodes() * perNode)
+			var m repro.Metrics
+			if atomic {
+				eng, err := repro.NewAtomicEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err = eng.RunStatic(src, 3_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				eng, err := repro.NewEngine(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err = eng.RunStatic(src, 3_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if m.Delivered != want {
+				t.Fatalf("delivered %d of %d", m.Delivered, want)
+			}
+			if m.MaxQueue > cap {
+				t.Fatalf("queue occupancy %d exceeded capacity %d", m.MaxQueue, cap)
+			}
+		})
+	}
+}
+
+// TestSoakWormhole does the same for the flit-level engine.
+func TestSoakWormhole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	routes := []string{
+		"wh-hypercube-ecube:5", "wh-hypercube-adaptive:5",
+		"wh-hypercube-nonminimal:5,2", "wh-torus-dor:5",
+		"wh-torus-adaptive:5", "wh-torus-adaptive:4x3x3",
+	}
+	likes := map[string]string{
+		"wh-hypercube-ecube:5":        "hypercube-adaptive:5",
+		"wh-hypercube-adaptive:5":     "hypercube-adaptive:5",
+		"wh-hypercube-nonminimal:5,2": "hypercube-adaptive:5",
+		"wh-torus-dor:5":              "torus-adaptive:5x5",
+		"wh-torus-adaptive:5":         "torus-adaptive:5x5",
+		"wh-torus-adaptive:4x3x3":     "torus-adaptive:4x3x3",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 24; i++ {
+		spec := routes[rng.Intn(len(routes))]
+		flits := 1 + rng.Intn(12)
+		vcbuf := 1 + rng.Intn(3)
+		perNode := 1 + rng.Intn(5)
+		seed := rng.Int63()
+		t.Run(fmt.Sprintf("%02d/%s/flits=%d/vcbuf=%d/per=%d", i, spec, flits, vcbuf, perNode), func(t *testing.T) {
+			route, err := repro.NewWormholeRoute(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			like, err := repro.NewAlgorithm(likes[spec])
+			if err != nil {
+				t.Fatal(err)
+			}
+			pat, err := repro.NewPattern("random", like, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := repro.NewWormholeEngine(repro.WormholeConfig{
+				Route: route, Flits: flits, VCBuf: vcbuf, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := eng.RunStatic(repro.NewStaticTraffic(pat, like, perNode, seed+1), 3_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(route.Topology().Nodes() * perNode); m.Delivered != want {
+				t.Fatalf("delivered %d of %d", m.Delivered, want)
+			}
+		})
+	}
+}

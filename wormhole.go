@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/wormhole"
+)
+
+// Wormhole re-exports: the flit-level simulator of internal/wormhole, the
+// extension the paper points to for worm-hole routing ([GPS91]).
+type (
+	// WormholeRoute is a wormhole routing function: adaptive virtual
+	// channels plus an acyclic escape sub-network.
+	WormholeRoute = wormhole.Route
+	// WormholeConfig configures the flit-level engine.
+	WormholeConfig = wormhole.Config
+	// WormholeEngine simulates worms of flits over virtual channels.
+	WormholeEngine = wormhole.Engine
+	// WormholeMetrics aggregates a wormhole run.
+	WormholeMetrics = wormhole.Metrics
+)
+
+// WormholeRouteNames lists the specs accepted by NewWormholeRoute.
+func WormholeRouteNames() []string {
+	return []string{
+		"wh-hypercube-ecube:<dims>",
+		"wh-hypercube-adaptive:<dims>",
+		"wh-hypercube-nonminimal:<dims>[,<misroutes>]",
+		"wh-torus-dor:<side>[x<side>...]",
+		"wh-torus-adaptive:<side>[x<side>...]",
+	}
+}
+
+// NewWormholeRoute builds a wormhole routing function from a spec such as
+// "wh-hypercube-adaptive:8" or "wh-torus-adaptive:16".
+func NewWormholeRoute(spec string) (WormholeRoute, error) {
+	name, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("repro: wormhole route spec %q needs a size", spec)
+	}
+	shape := func() ([]int, error) {
+		parts := strings.Split(arg, "x")
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("repro: bad shape %q in %q", arg, spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case "wh-hypercube-ecube":
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: bad size in %q", spec)
+		}
+		return wormhole.NewHypercubeECube(v), nil
+	case "wh-hypercube-adaptive":
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: bad size in %q", spec)
+		}
+		return wormhole.NewHypercubeAdaptive(v), nil
+	case "wh-hypercube-nonminimal":
+		dims, misStr, hasMis := strings.Cut(arg, ",")
+		v, err := strconv.Atoi(dims)
+		if err != nil {
+			return nil, fmt.Errorf("repro: bad size in %q", spec)
+		}
+		mis := 2
+		if hasMis {
+			if mis, err = strconv.Atoi(misStr); err != nil || mis < 0 {
+				return nil, fmt.Errorf("repro: bad misroute budget in %q", spec)
+			}
+		}
+		return wormhole.NewHypercubeNonMinimal(v, mis), nil
+	case "wh-torus-dor":
+		sh, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		if len(sh) == 1 {
+			return wormhole.NewTorusDOR(sh[0]), nil
+		}
+		return wormhole.NewTorusDORShape(sh...), nil
+	case "wh-torus-adaptive":
+		sh, err := shape()
+		if err != nil {
+			return nil, err
+		}
+		if len(sh) == 1 {
+			return wormhole.NewTorusAdaptive(sh[0]), nil
+		}
+		return wormhole.NewTorusAdaptiveShape(sh...), nil
+	}
+	return nil, fmt.Errorf("repro: unknown wormhole route %q (known: %s)",
+		name, strings.Join(WormholeRouteNames(), ", "))
+}
+
+// NewWormholeEngine returns the flit-level wormhole simulator.
+func NewWormholeEngine(cfg WormholeConfig) (*WormholeEngine, error) {
+	return wormhole.NewEngine(cfg)
+}
+
+// VerifyWormholeDeadlockFree certifies a wormhole route: the escape
+// sub-network alone must deliver every pair, and the (conservative) escape
+// channel dependency graph must be acyclic — Duato's condition, the
+// wormhole analogue of VerifyDeadlockFree. Exhaustive; use small instances.
+func VerifyWormholeDeadlockFree(r WormholeRoute) error {
+	return wormhole.Verify(r)
+}
