@@ -1,0 +1,85 @@
+// Command enginebench measures the buffered engine's raw throughput
+// (cycles/sec and delivered packets/sec) on the paper's λ=1 dynamic random
+// workload and appends the result to the BENCH_engine.json perf trajectory,
+// so every change to the engine's hot loop is measured against the recorded
+// history.
+//
+// Typical use:
+//
+//	go run ./cmd/enginebench -label my-change
+//	go run ./cmd/enginebench -label quick -dims 8,10 -measure 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		label   = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
+		out     = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
+		dims    = flag.String("dims", "8,10,12", "comma-separated hypercube dimensions")
+		workers = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
+		warmup  = flag.Int64("warmup", 100, "warmup cycles per cell")
+		measure = flag.Int64("measure", 400, "measured cycles per cell")
+		repeat  = flag.Int("repeat", 3, "timed repetitions per cell (fastest kept)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		base    = flag.String("baseline", "", "label of a recorded run to print speedups against (default: first run in the file)")
+	)
+	flag.Parse()
+
+	cfg := bench.EngineBenchConfig{
+		Dims:    parseInts(*dims),
+		Workers: parseInts(*workers),
+		Warmup:  *warmup,
+		Measure: *measure,
+		Repeat:  *repeat,
+		Seed:    *seed,
+	}
+	run, err := bench.RunEngineBench(*label, cfg)
+	fatal(err)
+
+	var baseline *bench.EngineBenchRun
+	if *out != "" {
+		file, err := bench.LoadEngineBench(*out)
+		fatal(err)
+		for i := range file.Runs {
+			if file.Runs[i].Label == *base || (*base == "" && i == 0 && file.Runs[i].Label != *label) {
+				baseline = &file.Runs[i]
+				break
+			}
+		}
+		fatal(bench.AppendEngineBench(*out, run))
+	}
+	fmt.Print(bench.FormatEngineBench(run, baseline))
+	if *out != "" {
+		fmt.Printf("appended run %q to %s\n", *label, *out)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		fatal(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,8 +43,29 @@ func main() {
 		hist     = flag.Bool("hist", false, "print a latency histogram and percentiles")
 		vct      = flag.Bool("vct", false, "virtual cut-through switching [KK79] instead of store-and-forward")
 		maxCyc   = flag.Int64("maxcycles", 10_000_000, "static model: abort after this many cycles")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fatal(f.Close())
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			fatal(err)
+			runtime.GC() // flush recently-freed allocations out of the profile
+			fatal(pprof.WriteHeapProfile(f))
+			fatal(f.Close())
+		}()
+	}
 
 	if *list {
 		fmt.Println("packet algorithm specs:")

@@ -1,0 +1,219 @@
+// Engine throughput benchmark: the perf-trajectory harness behind
+// BENCH_engine.json. Unlike the table experiments (bench.go), which report
+// the paper's observables, this file measures the *simulator itself* —
+// cycles per second and delivered packets per second of the buffered engine
+// under the paper's λ=1 dynamic random workload — so every PR that touches
+// the hot loop can show its delta against the recorded trajectory.
+//
+// Regenerate with:
+//
+//	go run ./cmd/enginebench -label <revision> -out BENCH_engine.json
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// EngineBenchConfig selects the grid the engine benchmark sweeps.
+type EngineBenchConfig struct {
+	Dims    []int // hypercube dimensions (default 8, 10, 12)
+	Workers []int // worker counts (default 1 and NumCPU, deduplicated)
+	Warmup  int64 // warmup cycles per run (default 100)
+	Measure int64 // measured cycles per run (default 400)
+	Seed    int64 // simulation seed (default 1)
+	Repeat  int   // timed repetitions per cell; the fastest is kept (default 3)
+}
+
+func (c *EngineBenchConfig) fill() {
+	if len(c.Dims) == 0 {
+		c.Dims = []int{8, 10, 12}
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, runtime.NumCPU()}
+	}
+	seen := map[int]bool{}
+	uniq := c.Workers[:0]
+	for _, w := range c.Workers {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			uniq = append(uniq, w)
+		}
+	}
+	c.Workers = uniq
+	if c.Warmup == 0 {
+		c.Warmup = 100
+	}
+	if c.Measure == 0 {
+		c.Measure = 400
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repeat == 0 {
+		c.Repeat = 3
+	}
+}
+
+// EngineBenchResult is one cell of the sweep: one (dims, workers) pair.
+type EngineBenchResult struct {
+	Dims         int     `json:"dims"`
+	Nodes        int     `json:"nodes"`
+	Workers      int     `json:"workers"`
+	Cycles       int64   `json:"cycles"`
+	Delivered    int64   `json:"delivered"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+}
+
+// EngineBenchRun is one labeled sweep (one revision of the engine).
+type EngineBenchRun struct {
+	Label      string              `json:"label"`
+	Date       string              `json:"date"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	GoVersion  string              `json:"go_version"`
+	Results    []EngineBenchResult `json:"results"`
+}
+
+// EngineBenchFile is the trajectory artifact: one run appended per revision
+// that touches the engine, oldest first.
+type EngineBenchFile struct {
+	Benchmark string           `json:"benchmark"`
+	Runs      []EngineBenchRun `json:"runs"`
+}
+
+// engineBenchWorkload names the fixed workload so the artifact is
+// self-describing.
+const engineBenchWorkload = "buffered engine, hypercube-adaptive, dynamic random traffic lambda=1, queue cap 5"
+
+// RunEngineBench executes the sweep and returns the labeled run.
+func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error) {
+	cfg.fill()
+	run := EngineBenchRun{
+		Label:      label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	for _, dims := range cfg.Dims {
+		for _, workers := range cfg.Workers {
+			res, err := engineBenchCell(dims, workers, cfg)
+			if err != nil {
+				return run, fmt.Errorf("bench: dims=%d workers=%d: %w", dims, workers, err)
+			}
+			run.Results = append(run.Results, res)
+		}
+	}
+	return run, nil
+}
+
+// engineBenchCell times one (dims, workers) cell, keeping the fastest of
+// cfg.Repeat repetitions. The simulation itself is deterministic, so
+// repetitions only shake out scheduling and cache noise.
+func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResult, error) {
+	nodes := 1 << dims
+	eng, err := sim.NewEngine(sim.Config{
+		Algorithm: core.NewHypercubeAdaptive(dims),
+		Seed:      cfg.Seed,
+		Workers:   workers,
+	})
+	if err != nil {
+		return EngineBenchResult{}, err
+	}
+	best := EngineBenchResult{Dims: dims, Nodes: nodes, Workers: workers}
+	for rep := 0; rep < cfg.Repeat; rep++ {
+		src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, cfg.Seed+2)
+		start := time.Now()
+		m, err := eng.RunDynamic(src, cfg.Warmup, cfg.Measure)
+		if err != nil {
+			return EngineBenchResult{}, err
+		}
+		el := time.Since(start).Seconds()
+		if rep == 0 || el < best.ElapsedSec {
+			best.Cycles = m.Cycles
+			best.Delivered = m.Delivered
+			best.ElapsedSec = el
+			best.CyclesPerSec = float64(m.Cycles) / el
+			best.PktsPerSec = float64(m.Delivered) / el
+		}
+	}
+	return best, nil
+}
+
+// LoadEngineBench reads a trajectory file; a missing file yields an empty
+// trajectory so the first run bootstraps it.
+func LoadEngineBench(path string) (EngineBenchFile, error) {
+	f := EngineBenchFile{Benchmark: engineBenchWorkload}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// AppendEngineBench appends run to the trajectory at path, replacing any
+// existing run with the same label (so re-running a revision updates it in
+// place rather than duplicating the entry).
+func AppendEngineBench(path string, run EngineBenchRun) error {
+	f, err := LoadEngineBench(path)
+	if err != nil {
+		return err
+	}
+	f.Benchmark = engineBenchWorkload
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatEngineBench renders a run as an aligned table, with per-cell
+// speedups against a baseline run when one is supplied.
+func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
+	s := fmt.Sprintf("engine bench %q (%s, ncpu=%d)\n", run.Label, run.Date, run.NumCPU)
+	s += " dims   nodes workers |   cycles/s     pkts/s"
+	if baseline != nil {
+		s += " | vs " + baseline.Label
+	}
+	s += "\n"
+	for _, r := range run.Results {
+		s += fmt.Sprintf("   %2d %7d %7d | %10.1f %10.1f", r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec)
+		if baseline != nil {
+			for _, b := range baseline.Results {
+				if b.Dims == r.Dims && b.Workers == r.Workers && b.CyclesPerSec > 0 {
+					s += fmt.Sprintf(" | %5.2fx", r.CyclesPerSec/b.CyclesPerSec)
+					break
+				}
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEngineBenchAppendReplaces pins the trajectory-file semantics: appends
+// with a fresh label accumulate oldest-first, re-appending an existing label
+// replaces that run in place, and the file round-trips through JSON.
+func TestEngineBenchAppendReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	mk := func(label string, cps float64) EngineBenchRun {
+		return EngineBenchRun{
+			Label: label, Date: "2026-08-06", NumCPU: 1, GoMaxProcs: 1,
+			Results: []EngineBenchResult{{Dims: 8, Nodes: 256, Workers: 1, Cycles: 500, CyclesPerSec: cps}},
+		}
+	}
+	for _, r := range []EngineBenchRun{mk("seed", 100), mk("opt", 150), mk("opt", 200)} {
+		if err := AppendEngineBench(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := LoadEngineBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (same-label append must replace)", len(f.Runs))
+	}
+	if f.Runs[0].Label != "seed" || f.Runs[1].Label != "opt" {
+		t.Fatalf("unexpected run order: %q, %q", f.Runs[0].Label, f.Runs[1].Label)
+	}
+	if got := f.Runs[1].Results[0].CyclesPerSec; got != 200 {
+		t.Fatalf("replaced run has cycles/s %v, want 200", got)
+	}
+	if f.Benchmark == "" {
+		t.Fatal("benchmark workload description missing")
+	}
+}
+
+// TestEngineBenchLoadMissing checks that a missing file loads as an empty,
+// properly-labeled trajectory (the first revision bootstraps the artifact).
+func TestEngineBenchLoadMissing(t *testing.T) {
+	f, err := LoadEngineBench(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 0 || f.Benchmark == "" {
+		t.Fatalf("unexpected empty-load result: %+v", f)
+	}
+}
+
+// TestEngineBenchFormatSpeedup checks the speedup column against a baseline.
+func TestEngineBenchFormatSpeedup(t *testing.T) {
+	base := EngineBenchRun{Results: []EngineBenchResult{{Dims: 8, Workers: 1, CyclesPerSec: 100}}}
+	run := EngineBenchRun{Label: "x", Results: []EngineBenchResult{{Dims: 8, Workers: 1, CyclesPerSec: 250}}}
+	out := FormatEngineBench(run, &base)
+	if !strings.Contains(out, "2.50x") {
+		t.Fatalf("speedup column missing from:\n%s", out)
+	}
+}

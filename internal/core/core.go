@@ -93,6 +93,11 @@ type Props struct {
 	// control) whose check-then-move must be atomic; they run on the atomic
 	// engine only.
 	AtomicOnly bool
+	// Credits marks algorithms that emit credited moves (Move.Credit > 0,
+	// the buffered-engine form of bubble reservations). Their target-queue
+	// occupancy is read remotely at claim time, so the buffered engine must
+	// maintain it with atomics; credit-free algorithms get plain counters.
+	Credits bool
 }
 
 // Algorithm is a routing function in the sense of Section 2, expressed
@@ -138,6 +143,33 @@ type Algorithm interface {
 
 	// Props reports the algorithm's static properties.
 	Props() Props
+}
+
+// PortMasks describes a candidate set as port bitmasks: one uncredited,
+// MinFree-1 remote move per set bit, emitted by Candidates in ascending port
+// order. Bit t of Static[c] is a static move through port t into class c;
+// bit t of Dyn is a dynamic move through port t into DynClass. The masks
+// must be pairwise disjoint, and Work is the packet's scratch state after
+// any of the moves.
+type PortMasks struct {
+	Static   [4]uint32 // static moves into class c, per target class
+	Dyn      uint32    // dynamic moves (through the shared dynamic buffer)
+	DynClass QueueClass
+	Work     uint32
+}
+
+// PortMaskRouter is an optional fast path for Algorithm implementations
+// whose candidate sets from some states have the PortMasks shape (at most 4
+// central queues, no internal/credited/delivery moves, uniform scratch
+// update). For every other state PortMask reports ok == false and the caller
+// must fall back to Candidates. The simulators use it to route their hottest
+// scan without materializing Move values; implementations must keep it
+// exactly consistent with Candidates, which the engine determinism tests
+// cross-check. The result is written through pm (caller-owned scratch that
+// the implementation fully overwrites on a true return) rather than
+// returned, keeping the per-packet call free of a by-value struct copy.
+type PortMaskRouter interface {
+	PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool
 }
 
 // Packet is a message in flight. Engines copy packets by value; the struct

@@ -56,6 +56,37 @@ func (h *HypercubeAdaptive) Inject(src, dst int32) (QueueClass, uint32) {
 	return ClassB, 0
 }
 
+// PortMask implements the PortMaskRouter fast path. Phase B is one static
+// q_B move per incorrect 1; phase A is one static move per incorrect 0
+// (into q_B when it is the last one, q_A otherwise — all zeros share a
+// target, so the two cases never mix) plus one dynamic q_A move per
+// incorrect 1. Only the internal phase change (no incorrect 0 left in q_A,
+// unreachable in normal operation) falls back to Candidates.
+func (h *HypercubeAdaptive) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	switch class {
+	case ClassB:
+		*pm = PortMasks{}
+		pm.Static[ClassB] = incorrectOnes(node, dst)
+		return true
+	case ClassA:
+		zeros := incorrectZeros(node, dst)
+		if zeros == 0 {
+			return false
+		}
+		*pm = PortMasks{Dyn: incorrectOnes(node, dst), DynClass: ClassA}
+		if zeros&(zeros-1) == 0 {
+			pm.Static[ClassB] = zeros // the last 0->1 correction enters q_B
+		} else {
+			pm.Static[ClassA] = zeros
+		}
+		return true
+	}
+	return false
+}
+
 // incorrectZeros returns the mask of dimensions where cur has a 0 that must
 // become a 1 to reach dst.
 func incorrectZeros(cur, dst int32) uint32 { return uint32(^cur & dst) }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+)
+
+// movesFromMasks expands a PortMasks value into the Move list it promises:
+// one uncredited MinFree-1 remote move per set bit, in ascending port order.
+func movesFromMasks(node int32, pm PortMasks) []Move {
+	var out []Move
+	all := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn
+	for t := 0; t < 32; t++ {
+		bit := uint32(1) << t
+		if all&bit == 0 {
+			continue
+		}
+		mv := Move{Node: node ^ 1<<t, Port: int16(t), MinFree: 1, Work: pm.Work}
+		if pm.Dyn&bit != 0 {
+			mv.Kind = Dynamic
+			mv.Class = pm.DynClass
+		} else {
+			for c := QueueClass(0); ; c++ {
+				if pm.Static[c]&bit != 0 {
+					mv.Class = c
+					break
+				}
+			}
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// TestHypercubePortMaskMatchesCandidates exhaustively cross-checks the
+// PortMaskRouter fast path against Candidates: for every (node, dst, class)
+// state of the hypercube algorithm, whenever PortMask reports ok the
+// reconstructed move list must equal the Candidates output exactly. The
+// buffered engine relies on this equivalence for bit-determinism, since it
+// routes through either path depending on configuration.
+func TestHypercubePortMaskMatchesCandidates(t *testing.T) {
+	for _, dims := range []int{3, 5, 6} {
+		h := NewHypercubeAdaptive(dims)
+		var pmr PortMaskRouter = h
+		n := int32(1) << dims
+		buf := make([]Move, 0, dims)
+		for node := int32(0); node < n; node++ {
+			for dst := int32(0); dst < n; dst++ {
+				for _, class := range []QueueClass{ClassA, ClassB} {
+					var pm PortMasks
+					ok := pmr.PortMask(node, class, 0, dst, &pm)
+					want := h.Candidates(node, class, 0, dst, buf[:0])
+					if !ok {
+						// The fast path may decline only states Candidates
+						// resolves internally (delivery or phase change).
+						for _, mv := range want {
+							if mv.Port != PortInternal {
+								t.Fatalf("dims=%d node=%d dst=%d class=%d: PortMask declined a state with remote moves %v",
+									dims, node, dst, class, want)
+							}
+						}
+						continue
+					}
+					got := movesFromMasks(node, pm)
+					if len(got) != len(want) {
+						t.Fatalf("dims=%d node=%d dst=%d class=%d: %d mask moves, %d candidates",
+							dims, node, dst, class, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("dims=%d node=%d dst=%d class=%d move %d: mask %+v != candidate %+v",
+								dims, node, dst, class, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPortMaskDisjoint checks the documented mask invariant: the four static
+// masks and the dynamic mask are pairwise disjoint for every state.
+func TestPortMaskDisjoint(t *testing.T) {
+	h := NewHypercubeAdaptive(6)
+	n := int32(1) << 6
+	for node := int32(0); node < n; node++ {
+		for dst := int32(0); dst < n; dst++ {
+			for _, class := range []QueueClass{ClassA, ClassB} {
+				var pm PortMasks
+				ok := h.PortMask(node, class, 0, dst, &pm)
+				if !ok {
+					continue
+				}
+				seen := uint32(0)
+				for _, m := range []uint32{pm.Static[0], pm.Static[1], pm.Static[2], pm.Static[3], pm.Dyn} {
+					if seen&m != 0 {
+						t.Fatalf("node=%d dst=%d class=%d: overlapping masks %+v", node, dst, class, pm)
+					}
+					seen |= m
+				}
+			}
+		}
+	}
+}

@@ -107,7 +107,7 @@ func (s *ShuffleExchangeAdaptive) Props() Props {
 	// Adaptive but not minimal, and the bubble guard needs atomic
 	// check-then-move semantics, so the algorithm runs on both engines but
 	// its deadlock guarantee is only exact on the atomic one.
-	return Props{Minimal: false, FullyAdaptive: false}
+	return Props{Minimal: false, FullyAdaptive: false, Credits: true}
 }
 
 func (s *ShuffleExchangeAdaptive) MaxHops(src, dst int32) int {

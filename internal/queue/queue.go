@@ -25,6 +25,18 @@ func New[T any](capacity int) *FIFO[T] {
 	return &FIFO[T]{buf: make([]T, capacity)}
 }
 
+// idx maps a FIFO position (0 <= i <= count) to its ring-buffer index.
+// head and i are both below len(buf) (or i == count == len at the tail of a
+// full queue), so a single conditional wrap replaces the integer division a
+// % would cost on this hot path.
+func (q *FIFO[T]) idx(i int) int {
+	j := q.head + i
+	if j >= len(q.buf) {
+		j -= len(q.buf)
+	}
+	return j
+}
+
 // Cap returns the fixed capacity.
 func (q *FIFO[T]) Cap() int { return len(q.buf) }
 
@@ -46,7 +58,7 @@ func (q *FIFO[T]) Push(v T) bool {
 	if q.count == len(q.buf) {
 		return false
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.buf[q.idx(q.count)] = v
 	q.count++
 	return true
 }
@@ -60,7 +72,7 @@ func (q *FIFO[T]) Pop() (T, bool) {
 	}
 	v := q.buf[q.head]
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = q.idx(1)
 	q.count--
 	return v, true
 }
@@ -71,7 +83,7 @@ func (q *FIFO[T]) At(i int) T {
 	if i < 0 || i >= q.count {
 		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[q.idx(i)]
 }
 
 // Remove deletes the i-th element in FIFO order and returns it, preserving
@@ -85,12 +97,10 @@ func (q *FIFO[T]) Remove(i int) T {
 	v := q.At(i)
 	var zero T
 	for j := i; j > 0; j-- {
-		dst := (q.head + j) % len(q.buf)
-		src := (q.head + j - 1) % len(q.buf)
-		q.buf[dst] = q.buf[src]
+		q.buf[q.idx(j)] = q.buf[q.idx(j-1)]
 	}
 	q.buf[q.head] = zero
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = q.idx(1)
 	q.count--
 	return v
 }
@@ -103,14 +113,14 @@ func (q *FIFO[T]) Set(i int, v T) {
 	if i < 0 || i >= q.count {
 		panic(fmt.Sprintf("queue: index %d out of range [0,%d)", i, q.count))
 	}
-	q.buf[(q.head+i)%len(q.buf)] = v
+	q.buf[q.idx(i)] = v
 }
 
 // Clear removes all elements.
 func (q *FIFO[T]) Clear() {
 	var zero T
 	for i := 0; i < q.count; i++ {
-		q.buf[(q.head+i)%len(q.buf)] = zero
+		q.buf[q.idx(i)] = zero
 	}
 	q.head, q.count = 0, 0
 }

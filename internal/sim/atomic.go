@@ -27,7 +27,7 @@ type AtomicEngine struct {
 	classes int
 
 	queues []*queue.FIFO[core.Packet]
-	injQ   []slot
+	injQ   []injSlot
 	rngs   []xrand.RNG
 	nextID []int64
 	active []bool
@@ -53,7 +53,7 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 	for i := range e.queues {
 		e.queues[i] = queue.New[core.Packet](cfg.QueueCap)
 	}
-	e.injQ = make([]slot, e.nodes)
+	e.injQ = make([]injSlot, e.nodes)
 	e.rngs = make([]xrand.RNG, e.nodes)
 	e.nextID = make([]int64, e.nodes)
 	e.active = make([]bool, e.nodes)
@@ -67,7 +67,7 @@ func (e *AtomicEngine) reset() {
 		q.Clear()
 	}
 	for u := 0; u < e.nodes; u++ {
-		e.injQ[u] = slot{}
+		e.injQ[u] = injSlot{}
 		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
 		e.nextID[u] = int64(u) << 36
 		e.active[u] = true
@@ -132,7 +132,7 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 			dst := src.Take(u, cycle)
 			class, work := e.algo.Inject(u, dst)
 			e.nextID[u]++
-			e.injQ[u] = slot{
+			e.injQ[u] = injSlot{
 				pkt: core.Packet{
 					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
 					Class: class, MinFree: 1, Work: work,

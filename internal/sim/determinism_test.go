@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// TestDeterminismAcrossWorkers pins the engine's bit-determinism contract:
+// for a fixed seed, every Metrics field must be identical regardless of the
+// worker count, across topologies, injection models, and the switching /
+// lookahead variants. The worker counts are chosen to exercise sequential
+// mode, an even shard split, and a ragged split (7 workers over a
+// power-of-two node count).
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	algos := []struct {
+		name string
+		mk   func() core.Algorithm
+	}{
+		{"hypercube", func() core.Algorithm { return core.NewHypercubeAdaptive(6) }},
+		{"mesh", func() core.Algorithm { return core.NewMeshAdaptive(8, 8) }},
+		{"torus", func() core.Algorithm { return core.NewTorusAdaptive(8, 8) }},
+	}
+	variants := []struct {
+		name string
+		ct   bool
+		rl   bool
+	}{
+		{"plain", false, false},
+		{"cutthrough", true, false},
+		{"lookahead", false, true},
+		{"cutthrough+lookahead", true, true},
+	}
+	for _, al := range algos {
+		for _, inject := range []string{"static", "dynamic"} {
+			for _, v := range variants {
+				t.Run(fmt.Sprintf("%s/%s/%s", al.name, inject, v.name), func(t *testing.T) {
+					t.Parallel()
+					run := func(workers int) Metrics {
+						a := al.mk()
+						nodes := a.Topology().Nodes()
+						cfg := Config{
+							Algorithm:       a,
+							Seed:            12345,
+							Workers:         workers,
+							CutThrough:      v.ct,
+							RemoteLookahead: v.rl,
+						}
+						e, err := NewEngine(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var m Metrics
+						if inject == "static" {
+							src := traffic.NewStaticSource(traffic.Random{Nodes: nodes}, nodes, 3, 99)
+							m, err = e.RunStatic(src, 1_000_000)
+						} else {
+							src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 0.5, 99)
+							m, err = e.RunDynamic(src, 50, 150)
+						}
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						return m
+					}
+					want := run(1)
+					for _, w := range []int{2, 7} {
+						if got := run(w); got != want {
+							t.Errorf("workers=%d diverged from workers=1:\n got  %+v\n want %+v", w, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// manyClassRing is a hop-ordered structured-buffer-pool scheme on a 6-node
+// ring that declares the maximum representable number of queue classes
+// (QueueClass is uint8, so 256). Packets are injected into class 250 and
+// ascend one class per hop, and every hop also offers a dynamic alternative
+// whose link buffer is the shared dynamic buffer at index NumClasses == 256.
+// The engine's per-worker scratch must therefore be sized from the
+// algorithm, not a fixed array; a fixed [256] lens table overflows here.
+type manyClassRing struct {
+	torus *topology.Torus
+}
+
+func (r *manyClassRing) Name() string                       { return "many-class-ring" }
+func (r *manyClassRing) Topology() topology.Topology        { return r.torus }
+func (r *manyClassRing) NumClasses() int                    { return 256 }
+func (r *manyClassRing) ClassName(c core.QueueClass) string { return fmt.Sprintf("hop%d", c) }
+func (r *manyClassRing) Props() core.Props                  { return core.Props{} }
+func (r *manyClassRing) Inject(src, dst int32) (core.QueueClass, uint32) {
+	return 250, 0
+}
+
+func (r *manyClassRing) MaxHops(src, dst int32) int {
+	return (int(dst) - int(src) + r.torus.Nodes()) % r.torus.Nodes()
+}
+
+func (r *manyClassRing) Candidates(node int32, class core.QueueClass, work uint32, dst int32, buf []core.Move) []core.Move {
+	if node == dst {
+		return append(buf, core.Move{Node: node, Port: core.PortInternal, Kind: core.Static, MinFree: 1, Deliver: true})
+	}
+	next := int32(r.torus.Neighbor(int(node), 0))
+	// Hop-ordered classes keep the static QDG acyclic; the dynamic twin of
+	// the same move exists purely to route through buffer class 256.
+	buf = append(buf, core.Move{Node: next, Port: 0, Class: class + 1, Kind: core.Static, MinFree: 1})
+	return append(buf, core.Move{Node: next, Port: 0, Class: class + 1, Kind: core.Dynamic, MinFree: 1})
+}
+
+// TestEngineManyClasses regression-tests the worker-scratch sizing: with 256
+// queue classes the dynamic link buffer has index 256, one past what a fixed
+// 256-entry scratch table can address. The run must complete (not panic) and
+// deliver every packet.
+func TestEngineManyClasses(t *testing.T) {
+	a := &manyClassRing{torus: topology.NewTorus(6)}
+	for _, workers := range []int{1, 2} {
+		e, err := NewEngine(Config{Algorithm: a, Seed: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewStaticSource(traffic.Random{Nodes: 6}, 6, 4, 11)
+		m, err := e.RunStatic(src, 100_000)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if m.Delivered != m.Injected || m.InFlight != 0 {
+			t.Errorf("workers=%d: delivered %d of %d, in-flight %d", workers, m.Delivered, m.Injected, m.InFlight)
+		}
+		if m.DynamicMoves == 0 {
+			t.Errorf("workers=%d: no dynamic moves; the test did not exercise buffer class 256", workers)
+		}
+	}
+}

@@ -2,19 +2,18 @@ package sim
 
 import (
 	"fmt"
-	"sync"
+	"math/bits"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/queue"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
 
-// slot is a single-packet link buffer (input or output).
-type slot struct {
+// injSlot is the per-node injection queue (size 1).
+type injSlot struct {
 	pkt  core.Packet
-	kind core.LinkKind // kind of the transition the packet is taking
 	full bool
 }
 
@@ -37,6 +36,36 @@ type slot struct {
 //	link:      each directed link transfers at most one packet, choosing
 //	           among its occupied output buffers under a rotating fair
 //	           order, and only into an empty input buffer.
+//
+// The hot loop is organized for throughput:
+//
+//   - the central queues are one contiguous packet slab with per-queue
+//     head/length arrays (structure of arrays), so queue scans stay in
+//     cache and need no per-queue ring allocations;
+//   - link buffers split their occupancy flags from the packet payloads, so
+//     the admissibility probes and the link/drain scans touch a compact flag
+//     array instead of striding through packet-sized slots;
+//   - per-node and per-link occupancy counters (qTotal, inCount, outCount,
+//     outLink) let every phase exit its scans as soon as the remaining work
+//     is known to be zero;
+//   - a live-node bitmap (liveBits) — the active worklist — is maintained
+//     incrementally at inject/push/drain/link time, so the phases iterate
+//     only nodes that currently hold a packet and the drain tail of a
+//     static run costs O(active), not O(N);
+//   - with Workers > 1 the phases run on a persistent worker pool (pool.go)
+//     sharded by contiguous, 64-aligned node ranges; packets crossing a
+//     shard boundary are posted to per-worker-pair mail lanes and folded in
+//     at the next cycle's injection phase, which keeps every array owned by
+//     exactly one worker between barriers.
+//
+// Determinism: for a fixed seed the engine is bit-deterministic and
+// independent of Workers. Every cross-shard interaction is either
+// barrier-ordered (mail lanes, input buffers) or reads the previous cycle's
+// snapshot (occSnap under RemoteLookahead), so node order within a phase
+// cannot influence the outcome. The one exception is credited moves
+// (shuffle-exchange bubble rings): their commit CAS reads live occupancy, so
+// with Workers > 1 they remain correct and deadlock-free but may tie-break
+// differently from the sequential run.
 type Engine struct {
 	cfg        Config
 	algo       core.Algorithm
@@ -45,26 +74,91 @@ type Engine struct {
 	ports      int
 	classes    int
 	bufClasses int
+	queueCap   int
 
-	queues  []*queue.FIFO[core.Packet] // [node*classes + class]
-	occ     []int32                    // atomic occupancy mirror of queues
-	inbound []int32                    // committed-but-not-delivered packets per queue (credit accounting)
-	injQ    []slot                     // per-node injection queue (size 1)
-	outSlot []slot                     // [(node*ports+port)*bufClasses + bc]
-	inSlot  []slot                     // same index: input buffer at the far end
-	// incomingSlots[v] lists, in deterministic order, the inSlot indices
-	// that deliver packets into v (all buffer classes of all inbound links).
-	incomingSlots [][]int32
-	linkRR        []uint32 // per directed link: buffer-class rotation
-	nodeRR        []uint32 // per node: input-drain rotation
-	rngs          []xrand.RNG
-	nextID        []int64 // per-node packet id counters (determinism)
+	// Central queues: fixed-capacity FIFO rings over one packet slab.
+	// Queue qi = node*classes+class occupies qbuf[qi*queueCap:(qi+1)*queueCap].
+	qbuf  []core.Packet
+	qhead []int32
+	qlen  []int32
 
-	active []bool // per node: traffic source not yet exhausted
+	// Blocked-packet wait masks (waitFast engines only). qwait parallels
+	// qbuf: a non-zero mask records the node-local output-buffer slots
+	// (bit p*bufClasses+bc) a fully-blocked packet is waiting on, and
+	// outMask[u] mirrors u's outFull flags as a bitset. While every masked
+	// slot stays full, re-running the candidate scan provably fails the
+	// same way, so phase (a) skips it — packets park without paying the
+	// Candidates call every cycle.
+	qwait   []uint64
+	outMask []uint64
+
+	occ     []int32 // atomic occupancy mirror of the queues
+	inbound []int32 // committed-but-not-delivered packets per queue (credit accounting)
+	occSnap []int32 // cycle-start copy of occ; only under RemoteLookahead
+
+	injQ []injSlot // per-node injection queue (size 1)
+
+	// Output buffers, structure of arrays, indexed by sender:
+	// [(node*ports+port)*bufClasses+bc].
+	outPkt  []core.Packet
+	outFull []uint8
+	outLink []uint8 // per directed link: number of occupied output buffers
+	nbr     []int32 // neighbor table [node*ports+port]; -1 for missing links
+
+	// Input buffers, indexed by *receiver*: node v's buffers occupy
+	// inPkt[inBase[v] : inBase[v]+inDeg[v]], ordered by (sending node,
+	// port, buffer class) ascending, so the phase (b) drain scans a
+	// contiguous flag range — and reads payloads from adjacent cache
+	// lines — instead of chasing per-link indices.
+	inPkt   []core.Packet
+	inFull  []uint8
+	inBase  []int32
+	inDeg   []int32
+	linkDst []int32  // per directed link: first input-buffer index at the far end
+	linkRR  []uint32 // per directed link: next buffer class to favor (< bufClasses)
+	rngs    []xrand.RNG
+	nextID  []int64 // per-node packet id counters (determinism)
+
+	// Active worklists. liveBits marks nodes holding any packet (central
+	// queues, injection queue, input or output buffers); injBits marks nodes
+	// whose traffic source is not yet exhausted. Shards are 64-aligned, so
+	// every word has exactly one writer between barriers.
+	liveBits []uint64
+	injBits  []uint64
+	qTotal   []int32 // per node: packets across its central queues
+	inCount  []int32 // per node: occupied inbound input buffers
+	outCount []int32 // per node: occupied output buffers
+
+	// minimal caches Props().Minimal so the per-delivery hop assertion does
+	// not pay an interface call.
+	minimal bool
+	// pmr is the algorithm's optional PortMaskRouter fast path (nil when not
+	// implemented); used by the FirstFree phase (a) scan.
+	pmr core.PortMaskRouter
+	// atomicOcc selects atomic maintenance of occ/inbound; plain counters
+	// suffice for credit-free algorithms, whose occupancy is only ever read
+	// by the owning worker (see core.Props.Credits).
+	atomicOcc bool
+	// waitFast enables the blocked-packet wait-mask cache. It requires a
+	// node's output buffers to fit one word, and failure causes beyond
+	// "that buffer is full" (credit reservations, remote lookahead) to be
+	// absent, because those can clear without any local buffer changing.
+	waitFast bool
+	slotPort [64]uint8 // waitFast: outMask bit -> port (avoids a division)
+	owner    []int32   // node -> owning worker (avoids a division per transfer)
 
 	workers  int
+	chunk    int          // nodes per worker shard, multiple of 64
 	statsBuf []cycleStats // one per worker
 	scratch  []workerScratch
+	mail     [][][]int32 // mail[dstWorker][srcWorker]: nodes that received a packet
+	pool     *phasePool
+
+	// Per-run state read by the pool workers; every write is sequenced
+	// before the phase barrier that releases them.
+	curSrc   TrafficSource
+	curWin   runWindow
+	curCycle int64
 }
 
 // workerScratch holds per-worker reusable buffers so the hot loop does not
@@ -72,10 +166,25 @@ type Engine struct {
 type workerScratch struct {
 	cand []core.Move
 	adm  []int
+	lens []int32        // phase (a) queue-length snapshot, sized to NumClasses
+	pm   core.PortMasks // PortMaskRouter scratch, overwritten per call
+
+	// Phase (b) rotation cache: start = cycle mod (inDeg+1) computed once
+	// per distinct degree per cycle, not once per node (regular topologies
+	// pay a single division per worker per cycle).
+	rotCycle int64
+	rotTotal int
+	rotStart int
+
+	// Failure accumulator filled by admissibleA across one candidate scan:
+	// the output-buffer slots that blocked remote moves, and whether every
+	// failure was of that kind (the precondition for caching the mask).
+	failMask uint64
+	failOK   bool
 }
 
-// cycleStats accumulates per-worker, per-cycle observations that are merged
-// into Metrics after each phase barrier.
+// cycleStats accumulates per-worker observations that are folded into
+// Metrics once per cycle.
 type cycleStats struct {
 	moves        int64
 	dynamicMoves int64
@@ -90,7 +199,10 @@ type cycleStats struct {
 	_            [40]byte // pad to avoid false sharing between workers
 }
 
-// NewEngine builds a buffered engine for the given configuration.
+// NewEngine builds a buffered engine for the given configuration. Engines
+// with Workers > 1 own a persistent worker pool whose goroutines are
+// created here, parked between runs, and reaped by a finalizer once the
+// engine is unreachable.
 func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -108,102 +220,275 @@ func NewEngine(cfg Config) (*Engine, error) {
 		ports:      t.Ports(),
 		classes:    a.NumClasses(),
 		bufClasses: a.NumClasses() + 1,
+		queueCap:   cfg.QueueCap,
 		workers:    cfg.Workers,
 	}
-	e.queues = make([]*queue.FIFO[core.Packet], e.nodes*e.classes)
-	for i := range e.queues {
-		e.queues[i] = queue.New[core.Packet](cfg.QueueCap)
+	nQueues := e.nodes * e.classes
+	e.qbuf = make([]core.Packet, nQueues*e.queueCap)
+	e.qhead = make([]int32, nQueues)
+	e.qlen = make([]int32, nQueues)
+	e.occ = make([]int32, nQueues)
+	e.inbound = make([]int32, nQueues)
+	if cfg.RemoteLookahead {
+		e.occSnap = make([]int32, nQueues)
 	}
-	e.occ = make([]int32, len(e.queues))
-	e.inbound = make([]int32, len(e.queues))
-	e.injQ = make([]slot, e.nodes)
+	e.injQ = make([]injSlot, e.nodes)
 	nLinks := e.nodes * e.ports
-	e.outSlot = make([]slot, nLinks*e.bufClasses)
-	e.inSlot = make([]slot, nLinks*e.bufClasses)
-	e.incomingSlots = make([][]int32, e.nodes)
+	e.outPkt = make([]core.Packet, nLinks*e.bufClasses)
+	e.outFull = make([]uint8, nLinks*e.bufClasses)
+	e.outLink = make([]uint8, nLinks)
+	e.nbr = make([]int32, nLinks)
+	e.linkDst = make([]int32, nLinks)
+	e.inBase = make([]int32, e.nodes)
+	e.inDeg = make([]int32, e.nodes)
+	// Two passes: size each receiver's contiguous input-buffer range, then
+	// hand out slot indices in (sender, port, class) ascending order — the
+	// same deterministic drain order as a per-link slot list would give.
 	for u := 0; u < e.nodes; u++ {
 		for p := 0; p < e.ports; p++ {
 			v := t.Neighbor(u, p)
+			e.nbr[u*e.ports+p] = int32(v)
+			e.linkDst[u*e.ports+p] = -1
 			if v == topology.None || v == u {
+				e.nbr[u*e.ports+p] = -1
 				continue
 			}
-			base := (u*e.ports + p) * e.bufClasses
-			for bc := 0; bc < e.bufClasses; bc++ {
-				e.incomingSlots[v] = append(e.incomingSlots[v], int32(base+bc))
-			}
+			e.inDeg[v] += int32(e.bufClasses)
 		}
 	}
+	nIn := int32(0)
+	for v := 0; v < e.nodes; v++ {
+		e.inBase[v] = nIn
+		nIn += e.inDeg[v]
+	}
+	next := make([]int32, e.nodes)
+	for u := 0; u < e.nodes; u++ {
+		for p := 0; p < e.ports; p++ {
+			v := e.nbr[u*e.ports+p]
+			if v < 0 {
+				continue
+			}
+			e.linkDst[u*e.ports+p] = e.inBase[v] + next[v]
+			next[v] += int32(e.bufClasses)
+		}
+	}
+	e.inPkt = make([]core.Packet, nIn)
+	e.inFull = make([]uint8, nIn)
 	e.linkRR = make([]uint32, nLinks)
-	e.nodeRR = make([]uint32, e.nodes)
+	e.atomicOcc = a.Props().Credits
+	e.minimal = a.Props().Minimal
+	e.pmr, _ = a.(core.PortMaskRouter)
+	e.waitFast = e.ports*e.bufClasses <= 64 && !e.atomicOcc && !cfg.RemoteLookahead
+	if e.waitFast {
+		e.qwait = make([]uint64, len(e.qbuf))
+		e.outMask = make([]uint64, e.nodes)
+		for b := 0; b < e.ports*e.bufClasses; b++ {
+			e.slotPort[b] = uint8(b / e.bufClasses)
+		}
+	}
 	e.rngs = make([]xrand.RNG, e.nodes)
 	e.nextID = make([]int64, e.nodes)
-	e.active = make([]bool, e.nodes)
+	nWords := (e.nodes + 63) / 64
+	e.liveBits = make([]uint64, nWords)
+	e.injBits = make([]uint64, nWords)
+	e.qTotal = make([]int32, e.nodes)
+	e.inCount = make([]int32, e.nodes)
+	e.outCount = make([]int32, e.nodes)
+	// Shards are rounded up to whole 64-bit bitmap words so no word is
+	// shared between workers.
+	e.chunk = (((e.nodes+e.workers-1)/e.workers + 63) / 64) * 64
+	e.owner = make([]int32, e.nodes)
+	for u := 0; u < e.nodes; u++ {
+		e.owner[u] = int32(u / e.chunk)
+	}
 	e.statsBuf = make([]cycleStats, e.workers)
 	e.scratch = make([]workerScratch, e.workers)
 	for i := range e.scratch {
-		e.scratch[i] = workerScratch{cand: make([]core.Move, 0, 64), adm: make([]int, 64)}
+		e.scratch[i] = workerScratch{
+			cand: make([]core.Move, 0, 64),
+			adm:  make([]int, 64),
+			lens: make([]int32, e.classes),
+		}
+	}
+	e.mail = make([][][]int32, e.workers)
+	for i := range e.mail {
+		e.mail[i] = make([][]int32, e.workers)
+	}
+	if e.workers > 1 {
+		e.pool = newPhasePool(e.workers)
+		runtime.SetFinalizer(e, (*Engine).stopPool)
 	}
 	e.reset()
 	return e, nil
 }
 
-func (e *Engine) reset() {
-	for i, q := range e.queues {
-		q.Clear()
-		e.occ[i] = 0
-		e.inbound[i] = 0
-	}
-	for i := range e.injQ {
-		e.injQ[i] = slot{}
-	}
-	for i := range e.outSlot {
-		e.outSlot[i] = slot{}
-	}
-	for i := range e.inSlot {
-		e.inSlot[i] = slot{}
-	}
-	for i := range e.linkRR {
-		e.linkRR[i] = 0
-	}
-	for u := range e.nodeRR {
-		e.nodeRR[u] = 0
-		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
-		e.nextID[u] = int64(u) << 36
-		e.active[u] = true
+// stopPool reaps the pooled goroutines; installed as the engine finalizer.
+func (e *Engine) stopPool() {
+	if e.pool != nil {
+		e.pool.stop()
 	}
 }
 
-// queueAt returns the central queue (node, class).
-func (e *Engine) queueAt(node int32, class core.QueueClass) *queue.FIFO[core.Packet] {
-	return e.queues[int(node)*e.classes+int(class)]
+func (e *Engine) reset() {
+	for i := range e.qlen {
+		e.qlen[i] = 0
+		e.qhead[i] = 0
+		e.occ[i] = 0
+		e.inbound[i] = 0
+	}
+	if e.occSnap != nil {
+		for i := range e.occSnap {
+			e.occSnap[i] = 0
+		}
+	}
+	if e.waitFast {
+		for i := range e.qwait {
+			e.qwait[i] = 0
+		}
+		for i := range e.outMask {
+			e.outMask[i] = 0
+		}
+	}
+	for i := range e.injQ {
+		e.injQ[i] = injSlot{}
+	}
+	for i := range e.outFull {
+		e.outFull[i] = 0
+	}
+	for i := range e.inFull {
+		e.inFull[i] = 0
+	}
+	for i := range e.outLink {
+		e.outLink[i] = 0
+		e.linkRR[i] = 0
+	}
+	for u := range e.rngs {
+		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
+		e.nextID[u] = int64(u) << 36
+		e.qTotal[u] = 0
+		e.inCount[u] = 0
+		e.outCount[u] = 0
+	}
+	for i := range e.liveBits {
+		e.liveBits[i] = 0
+		e.injBits[i] = ^uint64(0)
+	}
+	if tail := uint(e.nodes % 64); tail != 0 {
+		e.injBits[len(e.injBits)-1] = (uint64(1) << tail) - 1
+	}
+	for _, lanes := range e.mail {
+		for i := range lanes {
+			lanes[i] = lanes[i][:0]
+		}
+	}
+}
+
+// shard returns worker w's node range.
+func (e *Engine) shard(w int) (lo, hi int) {
+	lo = w * e.chunk
+	hi = lo + e.chunk
+	if lo > e.nodes {
+		lo = e.nodes
+	}
+	if hi > e.nodes {
+		hi = e.nodes
+	}
+	return lo, hi
+}
+
+func (e *Engine) setLive(u int32) {
+	e.liveBits[u>>6] |= 1 << (uint(u) & 63)
 }
 
 func (e *Engine) queueIndex(node int32, class core.QueueClass) int {
 	return int(node)*e.classes + int(class)
 }
 
-// qPush and qRemove route every central-queue mutation through the atomic
-// occupancy mirror, which credited claims read from other nodes.
-func (e *Engine) qPush(qi int, pkt core.Packet) int {
-	if !e.queues[qi].Push(pkt) {
-		panic("sim: push into a full queue (admissibility bug)")
+// qAt returns the i-th packet (FIFO order) of queue qi, in place.
+func (e *Engine) qAt(qi int, i int32) *core.Packet {
+	pos := e.qhead[qi] + i
+	if pos >= int32(e.queueCap) {
+		pos -= int32(e.queueCap)
 	}
-	atomic.AddInt32(&e.occ[qi], 1)
-	return e.queues[qi].Len()
+	return &e.qbuf[qi*e.queueCap+int(pos)]
 }
 
-func (e *Engine) qRemove(qi, idx int) core.Packet {
-	pkt := e.queues[qi].Remove(idx)
-	atomic.AddInt32(&e.occ[qi], -1)
-	return pkt
+// qPush and qDrop route every central-queue mutation through the atomic
+// occupancy mirror (read by credited claims from other nodes) and the
+// per-node worklist total. qPush takes the packet by pointer so the hot
+// paths copy it from its previous resting place straight into the slab.
+func (e *Engine) qPush(u int32, qi int, pkt *core.Packet) int {
+	n := e.qlen[qi]
+	if int(n) == e.queueCap {
+		panic("sim: push into a full queue (admissibility bug)")
+	}
+	pos := e.qhead[qi] + n
+	if pos >= int32(e.queueCap) {
+		pos -= int32(e.queueCap)
+	}
+	e.qbuf[qi*e.queueCap+int(pos)] = *pkt
+	if e.waitFast {
+		e.qwait[qi*e.queueCap+int(pos)] = 0
+	}
+	e.qlen[qi] = n + 1
+	e.qTotal[u]++
+	if e.atomicOcc {
+		atomic.AddInt32(&e.occ[qi], 1)
+	} else {
+		e.occ[qi]++
+	}
+	return int(n + 1)
+}
+
+// qDrop removes the idx-th packet (FIFO order) of queue qi without
+// materializing a copy: the phase (a) commit paths read the packet in place
+// (qAt) and write its successor buffer directly, so the removal itself only
+// has to shift and account.
+func (e *Engine) qDrop(u int32, qi int, idx int32) {
+	cap32 := int32(e.queueCap)
+	base := qi * e.queueCap
+	head := e.qhead[qi]
+	// Shift the elements before idx up by one slot, preserving FIFO order
+	// of the remainder, then advance the head past the vacated slot.
+	for j := idx; j > 0; j-- {
+		dst := head + j
+		if dst >= cap32 {
+			dst -= cap32
+		}
+		src := head + j - 1
+		if src >= cap32 {
+			src -= cap32
+		}
+		e.qbuf[base+int(dst)] = e.qbuf[base+int(src)]
+		if e.waitFast {
+			e.qwait[base+int(dst)] = e.qwait[base+int(src)]
+		}
+	}
+	head++
+	if head >= cap32 {
+		head -= cap32
+	}
+	e.qhead[qi] = head
+	e.qlen[qi]--
+	e.qTotal[u]--
+	if e.atomicOcc {
+		atomic.AddInt32(&e.occ[qi], -1)
+	} else {
+		e.occ[qi]--
+	}
 }
 
 // effectiveFree returns the target queue's capacity minus occupancy minus
-// committed inbound packets. Reads are atomic; during node phase (a) the
-// target's occupancy can only shrink (its owner may pop packets out), so a
-// stale read is conservative.
+// committed inbound packets. With credits the reads are atomic (remote
+// claimers race with the owner); during node phase (a) the target's
+// occupancy can only shrink, so a stale read is conservative. Without
+// credits only the owning worker ever reads a queue's occupancy, and plain
+// loads suffice.
 func (e *Engine) effectiveFree(qi int) int32 {
-	return int32(e.cfg.QueueCap) - atomic.LoadInt32(&e.occ[qi]) - atomic.LoadInt32(&e.inbound[qi])
+	if e.atomicOcc {
+		return int32(e.queueCap) - atomic.LoadInt32(&e.occ[qi]) - atomic.LoadInt32(&e.inbound[qi])
+	}
+	return int32(e.queueCap) - e.occ[qi] - e.inbound[qi]
 }
 
 // tryReserve atomically reserves one inbound slot at queue qi, succeeding
@@ -213,7 +498,7 @@ func (e *Engine) effectiveFree(qi int) int32 {
 func (e *Engine) tryReserve(qi int, need int32) bool {
 	for {
 		in := atomic.LoadInt32(&e.inbound[qi])
-		free := int32(e.cfg.QueueCap) - atomic.LoadInt32(&e.occ[qi]) - in
+		free := int32(e.queueCap) - atomic.LoadInt32(&e.occ[qi]) - in
 		if free < need {
 			return false
 		}
@@ -250,6 +535,19 @@ func (e *Engine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, 
 
 func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (Metrics, error) {
 	e.reset()
+	e.curSrc, e.curWin = src, win
+	// The four phase closures are built once per run; the pool releases
+	// them clear at the end so parked workers never retain the engine.
+	inject := func(w int) { e.workerInject(w) }
+	phaseA := func(w int) { e.workerPhaseA(w) }
+	phaseB := func(w int) { e.workerPhaseB(w) }
+	link := func(w int) { e.workerLink(w) }
+	defer func() {
+		e.curSrc = nil
+		if e.pool != nil {
+			e.pool.clear()
+		}
+	}()
 	var m Metrics
 	idle := 0
 	for cycle := int64(0); ; cycle++ {
@@ -266,35 +564,12 @@ func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, 
 		}
 
 		prevMoves := m.Moves
-		e.parallel(func(w, lo, hi int) {
-			st := &e.statsBuf[w]
-			for u := lo; u < hi; u++ {
-				e.injectPhase(int32(u), cycle, src, win, st)
-			}
-		})
-		e.merge(&m, win)
-		e.parallel(func(w, lo, hi int) {
-			st := &e.statsBuf[w]
-			sc := &e.scratch[w]
-			for u := lo; u < hi; u++ {
-				e.nodePhaseA(int32(u), cycle, win, st, sc)
-			}
-		})
-		e.merge(&m, win)
-		e.parallel(func(w, lo, hi int) {
-			st := &e.statsBuf[w]
-			for u := lo; u < hi; u++ {
-				e.nodePhaseB(int32(u), cycle, win, st)
-			}
-		})
-		e.merge(&m, win)
-		e.parallel(func(w, lo, hi int) {
-			st := &e.statsBuf[w]
-			for u := lo; u < hi; u++ {
-				e.linkPhase(int32(u), st)
-			}
-		})
-		e.merge(&m, win)
+		e.curCycle = cycle
+		e.exec(inject)
+		e.exec(phaseA)
+		e.exec(phaseB)
+		e.exec(link)
+		e.mergeCycle(&m)
 		m.Cycles = cycle + 1
 		m.InFlight = m.Injected - m.Delivered
 		if e.cfg.OnCycle != nil {
@@ -315,47 +590,35 @@ func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, 
 	}
 }
 
+// exec runs one phase across the worker shards: inline with one worker, on
+// the persistent pool otherwise.
+func (e *Engine) exec(fn func(int)) {
+	if e.pool == nil {
+		fn(0)
+		return
+	}
+	e.pool.run(fn)
+}
+
+// allExhausted probes the still-active traffic sources in ascending node
+// order, retiring nodes whose source has drained; it iterates only the
+// worklist of active sources, not all N nodes.
 func (e *Engine) allExhausted(src TrafficSource) bool {
-	for u := 0; u < e.nodes; u++ {
-		if e.active[u] {
-			if !src.Exhausted(int32(u)) {
+	for wi := range e.injBits {
+		for word := e.injBits[wi]; word != 0; word &= word - 1 {
+			b := bits.TrailingZeros64(word)
+			if !src.Exhausted(int32(wi*64 + b)) {
 				return false
 			}
-			e.active[u] = false
+			e.injBits[wi] &^= 1 << uint(b)
 		}
 	}
 	return true
 }
 
-// parallel runs f over the node range, sharded across the configured number
-// of workers with a barrier at the end. With one worker it runs inline.
-func (e *Engine) parallel(f func(worker, lo, hi int)) {
-	if e.workers <= 1 {
-		f(0, 0, e.nodes)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (e.nodes + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > e.nodes {
-			hi = e.nodes
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			f(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-}
-
-// merge folds the per-worker cycle stats into the run metrics.
-func (e *Engine) merge(m *Metrics, win runWindow) {
+// mergeCycle folds the per-worker cycle stats into the run metrics, once
+// per cycle.
+func (e *Engine) mergeCycle(m *Metrics) {
 	for i := range e.statsBuf {
 		st := &e.statsBuf[i]
 		m.Moves += st.moves
@@ -376,13 +639,41 @@ func (e *Engine) merge(m *Metrics, win runWindow) {
 	}
 }
 
-// injectPhase lets node u attempt one injection into its injection queue.
-func (e *Engine) injectPhase(u int32, cycle int64, src TrafficSource, win runWindow, st *cycleStats) {
-	if !e.active[u] {
+// workerInject is the injection phase over one shard. It first folds in the
+// arrival mail posted by the previous cycle's link phase (worklist and
+// inbound-counter maintenance for packets that crossed a shard boundary),
+// then snapshots the shard's queue occupancy when RemoteLookahead needs it,
+// then lets every source-active node attempt one injection.
+func (e *Engine) workerInject(w int) {
+	for src, lane := range e.mail[w] {
+		for _, v := range lane {
+			e.inCount[v]++
+			e.setLive(v)
+		}
+		e.mail[w][src] = lane[:0]
+	}
+	lo, hi := e.shard(w)
+	if lo >= hi {
 		return
 	}
+	if e.occSnap != nil {
+		copy(e.occSnap[lo*e.classes:hi*e.classes], e.occ[lo*e.classes:hi*e.classes])
+	}
+	st := &e.statsBuf[w]
+	cycle, src, win := e.curCycle, e.curSrc, e.curWin
+	base := lo >> 6
+	for wi, word := range e.injBits[base : (hi+63)>>6] {
+		for ; word != 0; word &= word - 1 {
+			u := int32((base+wi)*64 + bits.TrailingZeros64(word))
+			e.injectNode(u, cycle, src, win, st)
+		}
+	}
+}
+
+// injectNode lets node u attempt one injection into its injection queue.
+func (e *Engine) injectNode(u int32, cycle int64, src TrafficSource, win runWindow, st *cycleStats) {
 	if src.Exhausted(u) {
-		e.active[u] = false
+		e.injBits[u>>6] &^= 1 << (uint(u) & 63)
 		return
 	}
 	if !src.Wants(u, cycle) {
@@ -397,17 +688,37 @@ func (e *Engine) injectPhase(u int32, cycle int64, src TrafficSource, win runWin
 	dst := src.Take(u, cycle)
 	class, work := e.algo.Inject(u, dst)
 	e.nextID[u]++
-	e.injQ[u] = slot{
+	e.injQ[u] = injSlot{
 		pkt: core.Packet{
 			ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
 			Class: class, MinFree: 1, Work: work,
 		},
-		kind: core.Static,
 		full: true,
 	}
+	e.setLive(u)
 	st.injected++
 	if win.contains(cycle) {
 		st.successes++
+	}
+}
+
+// workerPhaseA runs node phase (a) over the live nodes of one shard.
+func (e *Engine) workerPhaseA(w int) {
+	lo, hi := e.shard(w)
+	if lo >= hi {
+		return
+	}
+	st := &e.statsBuf[w]
+	sc := &e.scratch[w]
+	cycle, win := e.curCycle, e.curWin
+	base := lo >> 6
+	for wi, word := range e.liveBits[base : (hi+63)>>6] {
+		for ; word != 0; word &= word - 1 {
+			u := int32((base+wi)*64 + bits.TrailingZeros64(word))
+			if e.qTotal[u] != 0 {
+				e.nodePhaseA(u, cycle, win, st, sc)
+			}
+		}
 	}
 }
 
@@ -417,14 +728,28 @@ func (e *Engine) injectPhase(u int32, cycle int64, src TrafficSource, win runWin
 // buffer, as Section 7.1 prescribes.
 func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats, sc *workerScratch) {
 	r := &e.rngs[u]
+	wf := e.waitFast
+	pol := e.cfg.Policy
+	headOnly := e.cfg.HeadOnly
+	// fastAdm marks configurations whose remote uncredited moves are decided
+	// by the output-buffer flag alone (no lookahead), letting the FirstFree
+	// scan below probe the flag inline instead of calling admissibleA.
+	fastAdm := e.occSnap == nil
+	// fastFF additionally requires the FirstFree policy and a PortMaskRouter
+	// algorithm: eligible packets then route without materializing Moves.
+	fastFF := fastAdm && e.pmr != nil && pol == PolicyFirstFree
+	lbase := int(u) * e.ports
+	obase := lbase * e.bufClasses
+	qi0 := int(u) * e.classes
 	// Snapshot the queue lengths so packets moved internally this cycle
 	// (e.g. a phase change into q_B) are not scanned again.
-	var lens [256]int
+	lens := sc.lens
 	for c := 0; c < e.classes; c++ {
-		lens[c] = e.queueAt(u, core.QueueClass(c)).Len()
-		if e.cfg.HeadOnly && lens[c] > 1 {
-			lens[c] = 1
+		l := e.qlen[qi0+c]
+		if headOnly && l > 1 {
+			l = 1
 		}
+		lens[c] = l
 	}
 	// Rotate the class scan order each cycle: several queues can feed the
 	// same output buffer (e.g. a phase-A packet performing its last 0->1
@@ -435,45 +760,168 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 		if c >= e.classes {
 			c -= e.classes
 		}
-		q := e.queueAt(u, core.QueueClass(c))
-		idx := 0
-		for scanned := 0; scanned < lens[c]; scanned++ {
-			pkt := q.At(idx)
-			sc.cand = e.algo.Candidates(int32(u), core.QueueClass(c), pkt.Work, pkt.Dst, sc.cand[:0])
-			moves := sc.cand
-			if len(moves) > len(sc.adm) {
-				sc.adm = make([]int, len(moves))
+		if lens[c] == 0 {
+			continue
+		}
+		qi := qi0 + c
+		idx := int32(0)
+		for scanned := int32(0); scanned < lens[c]; scanned++ {
+			pos := e.qhead[qi] + idx
+			if pos >= int32(e.queueCap) {
+				pos -= int32(e.queueCap)
 			}
-			nAdm := 0
-			for i, mv := range moves {
-				if e.admissibleA(u, core.QueueClass(c), mv) {
-					sc.adm[nAdm] = i
-					nAdm++
+			pi := qi*e.queueCap + int(pos)
+			pkt := &e.qbuf[pi]
+			if wf {
+				// Blocked-packet fast path: if every buffer the packet was
+				// waiting on is still full, the candidate scan is known to
+				// fail and is skipped outright.
+				if wmask := e.qwait[pi]; wmask != 0 && e.outMask[u]&wmask == wmask {
+					idx++
+					continue
 				}
 			}
-			if nAdm == 0 {
+			if fastFF && pkt.Dst != u {
+				// Port-mask fast path: identical move-by-move to running the
+				// FirstFree scan over Candidates, but the moves are implied
+				// by the mask bits (ascending ports) and never built.
+				if pm := &sc.pm; e.pmr.PortMask(u, core.QueueClass(c), pkt.Work, pkt.Dst, pm) {
+					fail := uint64(0)
+					port, found, tgt := 0, -1, 0
+					dyn := false
+					for mk := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn; mk != 0; mk &= mk - 1 {
+						t := bits.TrailingZeros32(mk)
+						bit := uint32(1) << uint(t)
+						tc, bc := 0, 0
+						d := pm.Dyn&bit != 0
+						if d {
+							tc, bc = int(pm.DynClass), e.classes
+						} else {
+							for pm.Static[tc]&bit == 0 {
+								tc++
+							}
+							bc = tc
+						}
+						b := t*e.bufClasses + bc
+						if e.outFull[obase+b] != 0 {
+							fail |= 1 << uint(b&63)
+							continue
+						}
+						port, found, tgt, dyn = t, b, tc, d
+						break
+					}
+					if found < 0 {
+						if wf {
+							e.qwait[pi] = fail // every failure was a full buffer
+						}
+						idx++
+						continue
+					}
+					si := obase + found
+					out := &e.outPkt[si]
+					*out = *pkt
+					out.Class = core.QueueClass(tgt)
+					out.Work = pm.Work
+					out.MinFree = 1
+					out.Hops++
+					e.qDrop(u, qi, idx)
+					e.outFull[si] = 1
+					if wf {
+						e.outMask[u] |= 1 << uint(found&63)
+					}
+					e.outLink[lbase+port]++
+					e.outCount[u]++
+					st.moves++
+					if dyn {
+						st.dynamicMoves++
+					}
+					continue
+				}
+			}
+			sc.cand = e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, sc.cand[:0])
+			moves := sc.cand
+			sc.failMask, sc.failOK = 0, true
+			// Select among the admissible candidates. The positional
+			// policies short-circuit the admissibility scan; the random
+			// policies need the full admissible set (and its count) to keep
+			// the per-node RNG stream aligned.
+			mvi := -1
+			switch pol {
+			case PolicyFirstFree:
+				for i := range moves {
+					m := &moves[i]
+					if fastAdm && m.Port >= 0 && m.Credit == 0 {
+						bc := int(m.Class)
+						if m.Kind == core.Dynamic {
+							bc = e.classes
+						}
+						bc += int(m.Port) * e.bufClasses
+						if e.outFull[obase+bc] != 0 {
+							sc.failMask |= 1 << uint(bc&63)
+							continue
+						}
+						mvi = i
+						break
+					}
+					if e.admissibleA(u, core.QueueClass(c), m, sc) {
+						mvi = i
+						break
+					}
+				}
+			case PolicyLastFree:
+				for i := len(moves) - 1; i >= 0; i-- {
+					if e.admissibleA(u, core.QueueClass(c), &moves[i], sc) {
+						mvi = i
+						break
+					}
+				}
+			default:
+				if len(moves) > len(sc.adm) {
+					sc.adm = make([]int, len(moves)+16)
+				}
+				nAdm := 0
+				for i := range moves {
+					if e.admissibleA(u, core.QueueClass(c), &moves[i], sc) {
+						sc.adm[nAdm] = i
+						nAdm++
+					}
+				}
+				if nAdm > 0 {
+					mvi = e.choose(r, moves, sc.adm[:nAdm])
+				}
+			}
+			if mvi < 0 {
+				if wf {
+					m := sc.failMask
+					if !sc.failOK {
+						m = 0 // uncacheable failure mode; rescan next cycle
+					}
+					e.qwait[pi] = m
+				}
 				idx++
 				continue
 			}
-			mv := moves[e.choose(r, moves, sc.adm[:nAdm])]
-			qi := e.queueIndex(u, core.QueueClass(c))
+			mv := &moves[mvi]
 			switch {
 			case mv.Deliver:
-				e.deliver(e.qRemove(qi, idx), cycle, win, st)
+				e.deliver(*pkt, cycle, win, st)
+				e.qDrop(u, qi, idx)
 			case mv.Port == core.PortInternal && mv.Node == u && mv.Class == core.QueueClass(c):
 				// Self-spin: advance bookkeeping in place.
 				pkt.Work = mv.Work
-				q.Set(idx, pkt)
 				idx++
 				st.moves++
 			case mv.Port == core.PortInternal:
-				pkt = e.qRemove(qi, idx)
+				// The slot is edited in place, pushed slab-to-slab, then
+				// dropped; the target queue is a different region of the
+				// slab (the in-place case above caught class == c).
 				pkt.Class = mv.Class
 				pkt.Work = mv.Work
 				pkt.MinFree = 1
-				if l := e.qPush(e.queueIndex(u, mv.Class), pkt); l > st.maxQueue {
+				if l := e.qPush(u, qi0+int(mv.Class), pkt); l > st.maxQueue {
 					st.maxQueue = l
 				}
+				e.qDrop(u, qi, idx)
 				st.moves++
 			default:
 				if mv.Credit > 0 {
@@ -484,16 +932,35 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 						idx++
 						continue
 					}
-					pkt = e.qRemove(qi, idx)
-					pkt.MinFree = 0 // marks the reservation for the drain
-				} else {
-					pkt = e.qRemove(qi, idx)
-					pkt.MinFree = mv.MinFree
 				}
-				pkt.Class = mv.Class
-				pkt.Work = mv.Work
-				si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
-				e.outSlot[si] = slot{pkt: pkt, kind: mv.Kind, full: true}
+				bc := int(mv.Class)
+				if mv.Kind == core.Dynamic {
+					bc = e.classes
+				}
+				link := int(u)*e.ports + int(mv.Port)
+				si := link*e.bufClasses + bc
+				out := &e.outPkt[si]
+				*out = *pkt
+				out.Class = mv.Class
+				out.Work = mv.Work
+				if mv.Credit > 0 {
+					out.MinFree = 0 // marks the reservation for the drain
+				} else {
+					out.MinFree = mv.MinFree
+				}
+				// The hop is counted at commit time rather than at transfer:
+				// a packet is never observed while it waits in the link
+				// buffers, so charging the traversal early is equivalent and
+				// keeps the link phase free of read-modify-write traffic on
+				// the payload.
+				out.Hops++
+				e.qDrop(u, qi, idx)
+				e.outFull[si] = 1
+				if wf {
+					e.outMask[u] |= 1 << uint((int(mv.Port)*e.bufClasses+bc)&63)
+				}
+				e.outLink[link]++
+				e.outCount[u]++
 				st.moves++
 				if mv.Kind == core.Dynamic {
 					st.dynamicMoves++
@@ -505,8 +972,11 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 
 // admissibleA reports whether a move can be taken during node phase (a):
 // output buffer free for remote moves (plus the credit reservation for
-// credited moves), capacity available for internal ones.
-func (e *Engine) admissibleA(u int32, class core.QueueClass, mv core.Move) bool {
+// credited moves), capacity available for internal ones. Failures feed the
+// scratch accumulator behind the wait-mask cache: a remote move blocked by
+// a full buffer records the buffer's node-local slot bit; any other failure
+// mode poisons the mask (those can clear without a local buffer event).
+func (e *Engine) admissibleA(u int32, class core.QueueClass, mv *core.Move, sc *workerScratch) bool {
 	switch {
 	case mv.Deliver:
 		return true
@@ -515,21 +985,39 @@ func (e *Engine) admissibleA(u int32, class core.QueueClass, mv core.Move) bool 
 	case mv.Port == core.PortInternal:
 		// Internal moves must not consume slots reserved by inbound
 		// credited packets.
-		return e.effectiveFree(e.queueIndex(u, mv.Class)) >= int32(mv.MinFree)
+		if e.effectiveFree(e.queueIndex(u, mv.Class)) >= int32(mv.MinFree) {
+			return true
+		}
+		sc.failOK = false
+		return false
 	default:
-		si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
-		if e.outSlot[si].full {
+		bc := int(mv.Port)*e.bufClasses + int(mv.Class)
+		if mv.Kind == core.Dynamic {
+			bc = int(mv.Port)*e.bufClasses + e.classes
+		}
+		if e.outFull[int(u)*e.ports*e.bufClasses+bc] != 0 {
+			sc.failMask |= 1 << uint(bc&63)
 			return false
 		}
 		if mv.Credit > 0 {
-			return e.effectiveFree(e.queueIndex(mv.Node, mv.Class)) >= int32(mv.Credit)
+			if e.effectiveFree(e.queueIndex(mv.Node, mv.Class)) >= int32(mv.Credit) {
+				return true
+			}
+			sc.failOK = false
+			return false
 		}
-		if e.cfg.RemoteLookahead {
-			// Advisory: only commit toward a queue that currently has room.
-			// No reservation is taken; transient overcommit simply waits in
-			// the link buffers as under plain buffered flow control.
-			qi := e.queueIndex(mv.Node, mv.Class)
-			return atomic.LoadInt32(&e.occ[qi]) < int32(e.cfg.QueueCap)
+		if e.occSnap != nil {
+			// Advisory lookahead: only commit toward a queue that had room
+			// at the start of the cycle. The snapshot (not the live
+			// occupancy) keeps the decision independent of the node
+			// processing order, hence of the worker count. No reservation
+			// is taken; transient overcommit simply waits in the link
+			// buffers as under plain buffered flow control.
+			if e.occSnap[e.queueIndex(mv.Node, mv.Class)] < int32(e.queueCap) {
+				return true
+			}
+			sc.failOK = false
+			return false
 		}
 		return true
 	}
@@ -560,20 +1048,54 @@ func (e *Engine) choose(r *xrand.RNG, moves []core.Move, adm []int) int {
 	}
 }
 
+// workerPhaseB runs node phase (b) over the live nodes of one shard.
+func (e *Engine) workerPhaseB(w int) {
+	lo, hi := e.shard(w)
+	if lo >= hi {
+		return
+	}
+	st := &e.statsBuf[w]
+	sc := &e.scratch[w]
+	cycle, win := e.curCycle, e.curWin
+	base := lo >> 6
+	for wi, word := range e.liveBits[base : (hi+63)>>6] {
+		for ; word != 0; word &= word - 1 {
+			u := int32((base+wi)*64 + bits.TrailingZeros64(word))
+			if e.inCount[u] != 0 || e.injQ[u].full {
+				e.nodePhaseB(u, cycle, win, st, sc)
+			}
+		}
+	}
+}
+
 // nodePhaseB drains u's input buffers and injection queue into the central
 // queues under a rotating fair order, consuming packets that reached their
-// destination directly from the buffer.
-func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats) {
-	in := e.incomingSlots[u]
-	total := len(in) + 1 // +1 for the injection queue
-	start := int(e.nodeRR[u]) % total
-	e.nodeRR[u]++
-	for i := 0; i < total; i++ {
+// destination directly from the buffer. The occupancy counters bound the
+// scan: it stops as soon as every occupied buffer has been considered.
+func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats, sc *workerScratch) {
+	deg := int(e.inDeg[u])
+	base := e.inBase[u]
+	ct := e.cfg.CutThrough
+	total := deg + 1 // +1 for the injection queue
+	left := int(e.inCount[u])
+	if e.injQ[u].full {
+		left++
+	}
+	// The rotation advances once per cycle whether or not the node is
+	// scanned; deriving it from the cycle keeps idle nodes skippable
+	// without a per-node counter, and the per-worker cache makes the
+	// division once-per-cycle on regular (uniform-degree) topologies.
+	if sc.rotCycle != cycle || sc.rotTotal != total {
+		sc.rotCycle, sc.rotTotal = cycle, total
+		sc.rotStart = int(cycle % int64(total))
+	}
+	start := sc.rotStart
+	for i := 0; i < total && left > 0; i++ {
 		s := start + i
 		if s >= total {
 			s -= total
 		}
-		if s == len(in) {
+		if s == deg {
 			// Injection queue. Latency is measured from *network entry*
 			// (leaving the injection queue): time spent waiting in the
 			// injection queue is charged to the effective injection rate,
@@ -583,10 +1105,11 @@ func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats)
 			if !sl.full {
 				continue
 			}
+			left--
 			qi := e.queueIndex(u, sl.pkt.Class)
 			if e.effectiveFree(qi) >= int32(sl.pkt.MinFree) {
 				sl.pkt.InjectedAt = cycle
-				if l := e.qPush(qi, sl.pkt); l > st.maxQueue {
+				if l := e.qPush(u, qi, &sl.pkt); l > st.maxQueue {
 					st.maxQueue = l
 				}
 				sl.full = false
@@ -594,42 +1117,47 @@ func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats)
 			}
 			continue
 		}
-		sl := &e.inSlot[in[s]]
-		if !sl.full {
+		si := base + int32(s)
+		if e.inFull[si] == 0 {
 			continue
 		}
-		if e.cfg.CutThrough && sl.pkt.Dst != u && sl.pkt.MinFree != 0 && e.cutThrough(u, sl, st) {
+		left--
+		pkt := &e.inPkt[si]
+		if ct && pkt.Dst != u && pkt.MinFree != 0 && e.cutThrough(u, si, pkt, st, sc) {
 			continue
 		}
-		if sl.pkt.Dst == u {
-			if sl.pkt.MinFree == 0 {
+		if pkt.Dst == u {
+			if pkt.MinFree == 0 {
 				// Release the credit reservation of a packet consumed
 				// straight from the input buffer.
-				atomic.AddInt32(&e.inbound[e.queueIndex(u, sl.pkt.Class)], -1)
+				atomic.AddInt32(&e.inbound[e.queueIndex(u, pkt.Class)], -1)
 			}
-			e.deliver(sl.pkt, cycle, win, st)
-			sl.full = false
+			e.deliver(*pkt, cycle, win, st)
+			e.inFull[si] = 0
+			e.inCount[u]--
 			continue
 		}
-		qi := e.queueIndex(u, sl.pkt.Class)
-		if sl.pkt.MinFree == 0 {
+		qi := e.queueIndex(u, pkt.Class)
+		if pkt.MinFree == 0 {
 			// Credited packet: its slot was reserved at claim time, so the
-			// push cannot fail; release the reservation.
-			pkt := sl.pkt
+			// push cannot fail; release the reservation. The buffer slot is
+			// edited in place (it is cleared right after).
 			pkt.MinFree = 1
-			if l := e.qPush(qi, pkt); l > st.maxQueue {
+			if l := e.qPush(u, qi, pkt); l > st.maxQueue {
 				st.maxQueue = l
 			}
 			atomic.AddInt32(&e.inbound[qi], -1)
-			sl.full = false
+			e.inFull[si] = 0
+			e.inCount[u]--
 			st.moves++
 			continue
 		}
-		if e.queues[qi].Free() >= int(sl.pkt.MinFree) {
-			if l := e.qPush(qi, sl.pkt); l > st.maxQueue {
+		if int32(e.queueCap)-e.qlen[qi] >= int32(pkt.MinFree) {
+			if l := e.qPush(u, qi, pkt); l > st.maxQueue {
 				st.maxQueue = l
 			}
-			sl.full = false
+			e.inFull[si] = 0
+			e.inCount[u]--
 			st.moves++
 		}
 	}
@@ -639,17 +1167,11 @@ func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats)
 // output buffer (virtual cut-through). It must not be used for credited
 // packets (their reservation is tied to the queue they bypass). Reports
 // whether the packet moved.
-func (e *Engine) cutThrough(u int32, sl *slot, st *cycleStats) bool {
-	sc := &e.scratch[0]
-	if e.workers > 1 {
-		// Under parallel execution each worker owns a contiguous node
-		// range; index the scratch by the worker that owns u.
-		chunk := (e.nodes + e.workers - 1) / e.workers
-		sc = &e.scratch[int(u)/chunk]
-	}
-	pkt := sl.pkt
+func (e *Engine) cutThrough(u int32, si int32, src *core.Packet, st *cycleStats, sc *workerScratch) bool {
+	pkt := *src
 	sc.cand = e.algo.Candidates(u, pkt.Class, pkt.Work, pkt.Dst, sc.cand[:0])
-	for _, mv := range sc.cand {
+	for i := range sc.cand {
+		mv := &sc.cand[i]
 		if mv.Deliver || mv.Port == core.PortInternal || mv.Credit > 0 {
 			// Internal transitions and credited (bubble-reserved) moves go
 			// through the queues; everything else may cut through — the
@@ -657,15 +1179,28 @@ func (e *Engine) cutThrough(u int32, sl *slot, st *cycleStats) bool {
 			// deadlock analysis is unchanged and waiting strictly shrinks.
 			continue
 		}
-		si := (int(u)*e.ports+int(mv.Port))*e.bufClasses + core.BufferClassOf(e.algo, mv)
-		if e.outSlot[si].full {
+		bc := int(mv.Class)
+		if mv.Kind == core.Dynamic {
+			bc = e.classes
+		}
+		link := int(u)*e.ports + int(mv.Port)
+		so := link*e.bufClasses + bc
+		if e.outFull[so] != 0 {
 			continue
 		}
 		pkt.Class = mv.Class
 		pkt.Work = mv.Work
 		pkt.MinFree = mv.MinFree
-		e.outSlot[si] = slot{pkt: pkt, kind: mv.Kind, full: true}
-		sl.full = false
+		pkt.Hops++ // charged at commit time, as in phase (a)
+		e.outPkt[so] = pkt
+		e.outFull[so] = 1
+		if e.waitFast {
+			e.outMask[u] |= 1 << uint((int(mv.Port)*e.bufClasses+bc)&63)
+		}
+		e.outLink[link]++
+		e.outCount[u]++
+		e.inFull[si] = 0
+		e.inCount[u]--
 		st.moves++
 		if mv.Kind == core.Dynamic {
 			st.dynamicMoves++
@@ -675,37 +1210,106 @@ func (e *Engine) cutThrough(u int32, sl *slot, st *cycleStats) bool {
 	return false
 }
 
-// linkPhase transfers at most one packet per direction over each of u's
-// outgoing links, into empty input buffers, rotating over the buffer
-// classes for fairness.
-func (e *Engine) linkPhase(u int32, st *cycleStats) {
+// workerLink runs the link phase over the live nodes of one shard, then
+// retires nodes that no longer hold any packet from the worklist.
+func (e *Engine) workerLink(w int) {
+	lo, hi := e.shard(w)
+	if lo >= hi {
+		return
+	}
+	st := &e.statsBuf[w]
+	base := lo >> 6
+	for wi := base; wi < (hi+63)>>6; wi++ {
+		for word := e.liveBits[wi]; word != 0; word &= word - 1 {
+			u := int32(wi*64 + bits.TrailingZeros64(word))
+			if e.outCount[u] != 0 {
+				e.linkNode(u, w, st)
+			}
+			if e.qTotal[u] == 0 && e.inCount[u] == 0 && e.outCount[u] == 0 && !e.injQ[u].full {
+				e.liveBits[wi] &^= 1 << (uint(u) & 63)
+			}
+		}
+	}
+}
+
+// linkNode transfers at most one packet per direction over each of u's
+// occupied outgoing links, into empty input buffers, rotating over the
+// buffer classes for fairness. Arrivals are recorded on the destination's
+// worklist directly when it lives on the same shard, or posted to the
+// owner's mail lane for the next cycle otherwise.
+func (e *Engine) linkNode(u int32, w int, st *cycleStats) {
+	lbase := int(u) * e.ports
+	if e.waitFast {
+		// outMask is a bitset of the occupied output buffers, so the scan
+		// jumps straight to the next occupied link instead of probing every
+		// port; a link's bits are dropped from the local copy once the link
+		// has had its transfer chance.
+		for m := e.outMask[u]; m != 0; {
+			p := int(e.slotPort[bits.TrailingZeros64(m)])
+			m &^= ((uint64(1) << uint(e.bufClasses)) - 1) << uint(p*e.bufClasses)
+			e.linkTransfer(u, lbase+p, p, w, st)
+		}
+		return
+	}
+	rem := int(e.outCount[u])
 	for p := 0; p < e.ports; p++ {
-		if e.topo.Neighbor(int(u), p) == topology.None {
+		l := lbase + p
+		ol := int(e.outLink[l])
+		if ol == 0 {
 			continue
 		}
-		l := int(u)*e.ports + p
-		base := l * e.bufClasses
-		start := int(e.linkRR[l]) % e.bufClasses
-		for i := 0; i < e.bufClasses; i++ {
-			bc := start + i
-			if bc >= e.bufClasses {
-				bc -= e.bufClasses
-			}
-			out := &e.outSlot[base+bc]
-			if !out.full {
-				continue
-			}
-			in := &e.inSlot[base+bc]
-			if in.full {
-				continue
-			}
-			out.pkt.Hops++
-			*in = *out
-			out.full = false
-			e.linkRR[l]++
-			st.moves++
-			break // one packet per link per cycle
+		rem -= ol
+		e.linkTransfer(u, l, p, w, st)
+		if rem == 0 {
+			return
 		}
+	}
+}
+
+// linkTransfer moves at most one packet over the occupied directed link l
+// (port p of node u), choosing among its occupied output buffers under the
+// rotating class order and only into an empty input buffer.
+func (e *Engine) linkTransfer(u int32, l, p, w int, st *cycleStats) {
+	sbase := l * e.bufClasses
+	dbase := e.linkDst[l]
+	start := int(e.linkRR[l])
+	for i := 0; i < e.bufClasses; i++ {
+		bc := start + i
+		if bc >= e.bufClasses {
+			bc -= e.bufClasses
+		}
+		si := sbase + bc
+		di := dbase + int32(bc)
+		if e.outFull[si] == 0 || e.inFull[di] != 0 {
+			continue
+		}
+		// Hops was already charged at commit time; the transfer is a
+		// plain copy plus flag updates.
+		e.inPkt[di] = e.outPkt[si]
+		e.inFull[di] = 1
+		e.outFull[si] = 0
+		if e.waitFast {
+			e.outMask[u] &^= 1 << uint((p*e.bufClasses+bc)&63)
+		}
+		e.outLink[l]--
+		e.outCount[u]--
+		// The class rotation advances one step past the winner's start
+		// position per transfer; storing the next start directly avoids
+		// a modulo on every occupied link.
+		start++
+		if start >= e.bufClasses {
+			start = 0
+		}
+		e.linkRR[l] = uint32(start)
+		st.moves++
+		v := e.nbr[l]
+		if dw := e.owner[v]; int(dw) == w {
+			e.inCount[v]++
+			e.setLive(v)
+		} else {
+			e.mail[dw][w] = append(e.mail[dw][w], v)
+		}
+		return // one packet per link per cycle
 	}
 }
 
@@ -719,7 +1323,7 @@ func (e *Engine) deliver(pkt core.Packet, cycle int64, win runWindow, st *cycleS
 			panic(fmt.Sprintf("sim: %s: packet %d took %d hops from %d to %d, bound %d",
 				e.algo.Name(), pkt.ID, pkt.Hops, pkt.Src, pkt.Dst, bound))
 		}
-		if e.algo.Props().Minimal && int(pkt.Hops) != bound {
+		if e.minimal && int(pkt.Hops) != bound {
 			panic(fmt.Sprintf("sim: %s: minimal algorithm delivered packet %d in %d hops, distance %d",
 				e.algo.Name(), pkt.ID, pkt.Hops, bound))
 		}

@@ -18,8 +18,10 @@ type QueueSnapshot struct {
 func (e *Engine) Snapshot(f func(QueueSnapshot)) {
 	for u := 0; u < e.nodes; u++ {
 		for c := 0; c < e.classes; c++ {
-			q := e.queueAt(int32(u), core.QueueClass(c))
-			f(QueueSnapshot{Node: int32(u), Class: core.QueueClass(c), Len: q.Len(), Cap: q.Cap()})
+			f(QueueSnapshot{
+				Node: int32(u), Class: core.QueueClass(c),
+				Len: int(e.qlen[u*e.classes+c]), Cap: e.queueCap,
+			})
 		}
 	}
 }
@@ -40,23 +42,19 @@ func (e *AtomicEngine) Snapshot(f func(QueueSnapshot)) {
 // conservation tests assert it every cycle.
 func (e *Engine) InNetwork() int {
 	total := 0
-	for _, q := range e.queues {
-		total += q.Len()
+	for _, l := range e.qlen {
+		total += int(l)
 	}
 	for i := range e.injQ {
 		if e.injQ[i].full {
 			total++
 		}
 	}
-	for i := range e.outSlot {
-		if e.outSlot[i].full {
-			total++
-		}
+	for _, f := range e.outFull {
+		total += int(f)
 	}
-	for i := range e.inSlot {
-		if e.inSlot[i].full {
-			total++
-		}
+	for _, f := range e.inFull {
+		total += int(f)
 	}
 	return total
 }
