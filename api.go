@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qdg"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -60,6 +61,28 @@ type (
 	// QueueSnapshot reports one central queue's instantaneous occupancy
 	// (see Engine.Snapshot and Config.OnCycle).
 	QueueSnapshot = sim.QueueSnapshot
+	// Observer taps a run's deliveries, cycles, and completion; attach one
+	// with Config.Observer or WithObserver. See the internal/obs package
+	// docs for the probe contract.
+	Observer = obs.Observer
+	// MetricSnapshot is a merged, fixed-size snapshot of the metrics core:
+	// counters, gauges, and exponential histograms at one cycle boundary.
+	MetricSnapshot = obs.Snapshot
+	// Plan schedules a run for Engine.Run / AtomicEngine.Run: build one
+	// with StaticPlan or DynamicPlan.
+	Plan = sim.Plan
+	// RunResult carries a run's Metrics plus, when observability is on,
+	// the final MetricSnapshot.
+	RunResult = sim.RunResult
+	// Sampler is the built-in queue-occupancy time-series observer.
+	Sampler = obs.Sampler
+	// Sample is one point of the Sampler's series.
+	Sample = obs.Sample
+	// LatencyObserver collects per-delivery latency statistics (mean,
+	// percentiles, histograms) behind the Observer interface.
+	LatencyObserver = obs.Latency
+	// JSONLObserver writes the metric time series as JSON lines.
+	JSONLObserver = obs.JSONLWriter
 )
 
 // Selection policies.
@@ -70,12 +93,69 @@ const (
 	PolicyLastFree    = sim.PolicyLastFree
 )
 
+// Metric identifiers, for indexing a MetricSnapshot's counters, gauges and
+// histograms (see internal/obs for the semantics of each).
+type (
+	// CounterID identifies a monotonic event counter.
+	CounterID = obs.CounterID
+	// GaugeID identifies an instantaneous level.
+	GaugeID = obs.GaugeID
+	// HistID identifies an exponential-bucket histogram.
+	HistID = obs.HistID
+)
+
+const (
+	CInjAttempts     = obs.CInjAttempts
+	CInjBackpressure = obs.CInjBackpressure
+	CInjected        = obs.CInjected
+	CDelivered       = obs.CDelivered
+	CMoves           = obs.CMoves
+	CDynamicMoves    = obs.CDynamicMoves
+	CLinkTransfers   = obs.CLinkTransfers
+	COutputStalls    = obs.COutputStalls
+	CWaitParked      = obs.CWaitParked
+	CMailPosts       = obs.CMailPosts
+	CCutThrough      = obs.CCutThrough
+
+	GQueueOccupancy = obs.GQueueOccupancy
+	GInFlight       = obs.GInFlight
+	GMaxQueue       = obs.GMaxQueue
+	GLiveNodes      = obs.GLiveNodes
+
+	HLatency  = obs.HLatency
+	HQueueLen = obs.HQueueLen
+)
+
 // LatencyCollector accumulates per-delivery latency statistics (mean,
 // percentiles, histograms). Assign its OnDeliver method to Config.OnDeliver.
+//
+// Deprecated: use NewLatencyObserver with Config.Observer / WithObserver;
+// it wraps the same collector behind the Observer interface.
 type LatencyCollector = stats.Collector
 
 // NewLatencyCollector returns an empty latency collector.
+//
+// Deprecated: use NewLatencyObserver.
 func NewLatencyCollector() *LatencyCollector { return stats.NewCollector() }
+
+// NewLatencyObserver returns an empty latency-collecting observer.
+func NewLatencyObserver() *LatencyObserver { return obs.NewLatency() }
+
+// NewSampler returns a queue-occupancy sampler with the given period.
+func NewSampler(every int64) *Sampler { return obs.NewSampler(every) }
+
+// NewJSONLObserver returns an observer writing one JSON line of metrics to
+// w every `every` cycles, plus a final line at completion.
+func NewJSONLObserver(w io.Writer, every int64) *JSONLObserver {
+	return obs.NewJSONLWriter(w, every)
+}
+
+// StaticPlan returns a drain-to-completion plan with the given cycle
+// budget (0 = unbounded) for Engine.Run.
+func StaticPlan(maxCycles int64) Plan { return sim.StaticPlan(maxCycles) }
+
+// DynamicPlan returns a fixed warmup+measure window plan for Engine.Run.
+func DynamicPlan(warmup, measure int64) Plan { return sim.DynamicPlan(warmup, measure) }
 
 // NewEngine returns the buffered cycle-accurate simulator for cfg.
 func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
@@ -101,95 +181,120 @@ func AlgorithmNames() []string {
 	}
 }
 
+// maxSpecNodes caps the node count a textual spec may ask for, so a typo
+// like "mesh-adaptive:100000x100000" fails fast instead of allocating.
+const maxSpecNodes = 1 << 24
+
 // NewAlgorithm builds an algorithm from a textual spec such as
 // "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8".
+// Malformed or out-of-range sizes (e.g. "hypercube-adaptive:-1",
+// "mesh-adaptive:0x5") are reported as errors, never panics: each family's
+// topology bounds — hypercube and shuffle-exchange dimension, CCC order,
+// minimum mesh/torus sides — are validated here before construction.
 func NewAlgorithm(spec string) (Algorithm, error) {
 	name, arg, ok := strings.Cut(spec, ":")
 	if !ok {
 		return nil, fmt.Errorf("repro: algorithm spec %q needs a size, e.g. %q", spec, "hypercube-adaptive:10")
 	}
-	dims := func() (int, error) { return strconv.Atoi(arg) }
-	shape := func() ([]int, error) {
+	dims := func(lo, hi int) (int, error) {
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("repro: bad dimension %q in %q", arg, spec)
+		}
+		if d < lo || d > hi {
+			return 0, fmt.Errorf("repro: %s: dimension %d out of range [%d,%d]", spec, d, lo, hi)
+		}
+		return d, nil
+	}
+	shape := func(minSide int) ([]int, error) {
 		parts := strings.Split(arg, "x")
 		out := make([]int, len(parts))
+		nodes := 1
 		for i, p := range parts {
 			v, err := strconv.Atoi(p)
 			if err != nil {
 				return nil, fmt.Errorf("repro: bad shape %q in %q", arg, spec)
 			}
+			if v < minSide {
+				return nil, fmt.Errorf("repro: %s: side %d must be >= %d, got %d", spec, i, minSide, v)
+			}
+			if nodes > maxSpecNodes/v {
+				return nil, fmt.Errorf("repro: %s: more than %d nodes", spec, maxSpecNodes)
+			}
+			nodes *= v
 			out[i] = v
 		}
 		return out, nil
 	}
 	switch name {
 	case "hypercube-adaptive":
-		d, err := dims()
+		d, err := dims(1, 30)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewHypercubeAdaptive(d), nil
 	case "hypercube-hung":
-		d, err := dims()
+		d, err := dims(1, 30)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewHypercubeHung(d), nil
 	case "hypercube-ecube":
-		d, err := dims()
+		d, err := dims(1, 30)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewHypercubeECube(d), nil
 	case "mesh-adaptive":
-		s, err := shape()
+		s, err := shape(1)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewMeshAdaptive(s...), nil
 	case "mesh-twophase":
-		s, err := shape()
+		s, err := shape(1)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewMeshTwoPhase(s...), nil
 	case "mesh-xy":
-		s, err := shape()
+		s, err := shape(1)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewMeshXY(s...), nil
 	case "shuffle-adaptive":
-		d, err := dims()
+		d, err := dims(1, 26)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewShuffleExchangeAdaptive(d), nil
 	case "shuffle-static":
-		d, err := dims()
+		d, err := dims(1, 26)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewShuffleExchangeStatic(d), nil
 	case "shuffle-eager":
-		d, err := dims()
+		d, err := dims(1, 26)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewShuffleExchangeEager(d), nil
 	case "ccc-adaptive":
-		d, err := dims()
+		d, err := dims(2, 16)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewCCCAdaptive(d), nil
 	case "ccc-static":
-		d, err := dims()
+		d, err := dims(2, 16)
 		if err != nil {
 			return nil, err
 		}
 		return core.NewCCCStatic(d), nil
 	case "torus-adaptive":
-		s, err := shape()
+		s, err := shape(3)
 		if err != nil {
 			return nil, err
 		}
@@ -264,7 +369,7 @@ func NewPattern(spec string, a Algorithm, seed int64) (Pattern, error) {
 		frac := 0.2
 		if arg != "" {
 			v, err := strconv.ParseFloat(arg, 64)
-			if err != nil || v < 0 || v > 1 {
+			if err != nil || !(v >= 0 && v <= 1) { // rejects NaN too
 				return nil, fmt.Errorf("repro: bad hotspot fraction %q", arg)
 			}
 			frac = v

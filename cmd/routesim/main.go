@@ -11,9 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -45,6 +49,9 @@ func main() {
 		maxCyc   = flag.Int64("maxcycles", 10_000_000, "static model: abort after this many cycles")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics  = flag.String("metrics", "", "write metric snapshots as JSON lines to this file ('-' for stdout)")
+		mEvery   = flag.Int64("metrics-every", 100, "sampling period of -metrics, in cycles")
+		httpAddr = flag.String("http", "", "serve Prometheus /metrics and /debug/pprof on this address during the run, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -100,10 +107,30 @@ func main() {
 		Workers:   *workers,
 	}
 	cfg.CutThrough = *vct
-	var collector *repro.LatencyCollector
+
+	// Observability: compose the requested observers; -http additionally
+	// enables the metrics core so the endpoint has something to serve.
+	var observers []repro.Observer
+	var collector *repro.LatencyObserver
 	if *hist {
-		collector = repro.NewLatencyCollector()
-		cfg.OnDeliver = collector.OnDeliver
+		collector = repro.NewLatencyObserver()
+		observers = append(observers, collector)
+	}
+	var jsonl *repro.JSONLObserver
+	if *metrics != "" {
+		w := os.Stdout
+		if *metrics != "-" {
+			f, err := os.Create(*metrics)
+			fatal(err)
+			defer func() { fatal(f.Close()) }()
+			w = f
+		}
+		jsonl = repro.NewJSONLObserver(w, *mEvery)
+		observers = append(observers, jsonl)
+	}
+	cfg.Observer = repro.MultiObserver(observers...)
+	if *httpAddr != "" {
+		cfg.Metrics = true
 	}
 	switch *policy {
 	case "first-free":
@@ -118,41 +145,65 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	run := func(src repro.TrafficSource) (repro.Metrics, error) {
-		if *engine == "atomic" {
-			e, err := repro.NewAtomicEngine(cfg)
-			if err != nil {
-				return repro.Metrics{}, err
-			}
-			if strings.EqualFold(*inject, "dynamic") {
-				return e.RunDynamic(src, *warmup, *measure)
-			}
-			return e.RunStatic(src, *maxCyc)
+	// Build the engine up front so -http can expose its live metrics core.
+	var (
+		runFn       func(context.Context, repro.TrafficSource, repro.Plan) (repro.RunResult, error)
+		promHandler http.Handler
+	)
+	if *engine == "atomic" {
+		e, err := repro.NewAtomicEngine(cfg)
+		fatal(err)
+		runFn = e.Run
+		if core := e.Obs(); core != nil {
+			promHandler = core.Handler()
 		}
+	} else {
 		e, err := repro.NewEngine(cfg)
-		if err != nil {
-			return repro.Metrics{}, err
+		fatal(err)
+		runFn = e.Run
+		if core := e.Obs(); core != nil {
+			promHandler = core.Handler()
 		}
-		if strings.EqualFold(*inject, "dynamic") {
-			return e.RunDynamic(src, *warmup, *measure)
-		}
-		return e.RunStatic(src, *maxCyc)
+	}
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", promHandler)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() { fatal(http.ListenAndServe(*httpAddr, mux)) }()
+		fmt.Printf("serving   : http://%s/metrics and /debug/pprof/\n", *httpAddr)
 	}
 
+	plan := repro.StaticPlan(*maxCyc)
 	var src repro.TrafficSource
 	switch strings.ToLower(*inject) {
 	case "static":
 		src = repro.NewStaticTraffic(pat, algo, *packets, *seed+1)
 	case "dynamic":
 		src = repro.NewDynamicTraffic(pat, algo, *lambda, *seed+1)
+		plan = repro.DynamicPlan(*warmup, *measure)
 	default:
 		fatal(fmt.Errorf("unknown injection model %q", *inject))
 	}
 
+	// Ctrl-C cancels the run within one cycle; the partial metrics of the
+	// completed cycles are still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	m, err := run(src)
-	fatal(err)
+	res, err := runFn(ctx, src, plan)
+	if !res.Canceled {
+		fatal(err)
+	}
+	m := res.Metrics
 	elapsed := time.Since(start).Round(time.Millisecond)
+	if res.Canceled {
+		fmt.Printf("interrupted after %d cycles; partial metrics follow\n", m.Cycles)
+	}
 
 	fmt.Printf("algorithm : %s on %s (%d queues/node, %s engine, policy %s)\n",
 		algo.Name(), algo.Topology().Name(), algo.NumClasses(), *engine, cfg.Policy)
@@ -173,6 +224,10 @@ func main() {
 		m.Moves, m.DynamicMoves, pct(m.DynamicMoves, m.Moves), m.MaxQueue)
 	if collector != nil {
 		fmt.Printf("histogram : %s\n%s", collector.Summary(), collector.Histogram(16))
+	}
+	if jsonl != nil {
+		fatal(jsonl.Err())
+		fmt.Printf("metrics   : %d JSONL records -> %s\n", jsonl.Lines(), *metrics)
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		warmup  = flag.Int64("warmup", 500, "dynamic runs: warmup cycles")
 		measure = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
 		policy  = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+		workers = flag.Int("workers", 0, "parallel workers per simulation (0 = sequential)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		Warmup:    *warmup,
 		Measure:   *measure,
 		Algorithm: *algo,
+		Workers:   *workers,
 	}
 	switch *policy {
 	case "first-free":

@@ -63,6 +63,9 @@ func (c *EngineBenchConfig) fill() {
 }
 
 // EngineBenchResult is one cell of the sweep: one (dims, workers) pair.
+// Each cell is timed twice — once with observability off and once with the
+// metrics core enabled (Config.Metrics, no observer) — so the trajectory
+// tracks the instrumentation overhead across revisions.
 type EngineBenchResult struct {
 	Dims         int     `json:"dims"`
 	Nodes        int     `json:"nodes"`
@@ -72,6 +75,18 @@ type EngineBenchResult struct {
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	PktsPerSec   float64 `json:"pkts_per_sec"`
+	// CyclesPerSecObs is the same workload with the metrics core enabled
+	// (0 in runs recorded before the observability layer existed).
+	CyclesPerSecObs float64 `json:"cycles_per_sec_obs,omitempty"`
+}
+
+// ObsOverheadPct returns the relative slowdown of the with-metrics run in
+// percent (negative = faster), or 0 when the pair was not recorded.
+func (r *EngineBenchResult) ObsOverheadPct() float64 {
+	if r.CyclesPerSecObs == 0 || r.CyclesPerSec == 0 {
+		return 0
+	}
+	return 100 * (r.CyclesPerSec - r.CyclesPerSecObs) / r.CyclesPerSec
 }
 
 // EngineBenchRun is one labeled sweep (one revision of the engine).
@@ -119,32 +134,40 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 
 // engineBenchCell times one (dims, workers) cell, keeping the fastest of
 // cfg.Repeat repetitions. The simulation itself is deterministic, so
-// repetitions only shake out scheduling and cache noise.
+// repetitions only shake out scheduling and cache noise. The cell is timed
+// again with the metrics core enabled to record instrumentation overhead.
 func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResult, error) {
 	nodes := 1 << dims
-	eng, err := sim.NewEngine(sim.Config{
-		Algorithm: core.NewHypercubeAdaptive(dims),
-		Seed:      cfg.Seed,
-		Workers:   workers,
-	})
-	if err != nil {
-		return EngineBenchResult{}, err
-	}
 	best := EngineBenchResult{Dims: dims, Nodes: nodes, Workers: workers}
-	for rep := 0; rep < cfg.Repeat; rep++ {
-		src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, cfg.Seed+2)
-		start := time.Now()
-		m, err := eng.RunDynamic(src, cfg.Warmup, cfg.Measure)
+	for _, withObs := range []bool{false, true} {
+		eng, err := sim.NewEngine(sim.Config{
+			Algorithm: core.NewHypercubeAdaptive(dims),
+			Seed:      cfg.Seed,
+			Workers:   workers,
+			Metrics:   withObs,
+		})
 		if err != nil {
 			return EngineBenchResult{}, err
 		}
-		el := time.Since(start).Seconds()
-		if rep == 0 || el < best.ElapsedSec {
-			best.Cycles = m.Cycles
-			best.Delivered = m.Delivered
-			best.ElapsedSec = el
-			best.CyclesPerSec = float64(m.Cycles) / el
-			best.PktsPerSec = float64(m.Delivered) / el
+		for rep := 0; rep < cfg.Repeat; rep++ {
+			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, cfg.Seed+2)
+			start := time.Now()
+			m, err := eng.RunDynamic(src, cfg.Warmup, cfg.Measure)
+			if err != nil {
+				return EngineBenchResult{}, err
+			}
+			el := time.Since(start).Seconds()
+			if withObs {
+				if cps := float64(m.Cycles) / el; rep == 0 || cps > best.CyclesPerSecObs {
+					best.CyclesPerSecObs = cps
+				}
+			} else if rep == 0 || el < best.ElapsedSec {
+				best.Cycles = m.Cycles
+				best.Delivered = m.Delivered
+				best.ElapsedSec = el
+				best.CyclesPerSec = float64(m.Cycles) / el
+				best.PktsPerSec = float64(m.Delivered) / el
+			}
 		}
 	}
 	return best, nil
@@ -198,13 +221,13 @@ func AppendEngineBench(path string, run EngineBenchRun) error {
 // speedups against a baseline run when one is supplied.
 func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
 	s := fmt.Sprintf("engine bench %q (%s, ncpu=%d)\n", run.Label, run.Date, run.NumCPU)
-	s += " dims   nodes workers |   cycles/s     pkts/s"
+	s += " dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
 	if baseline != nil {
 		s += " | vs " + baseline.Label
 	}
 	s += "\n"
 	for _, r := range run.Results {
-		s += fmt.Sprintf("   %2d %7d %7d | %10.1f %10.1f", r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec)
+		s += fmt.Sprintf("   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%", r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
 		if baseline != nil {
 			for _, b := range baseline.Results {
 				if b.Dims == r.Dims && b.Workers == r.Workers && b.CyclesPerSec > 0 {

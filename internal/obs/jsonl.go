@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+)
+
+// jsonlRecord is the line schema of the JSONL time-series writer. Counter,
+// gauge, and histogram names are the String() forms of the IDs; histograms
+// are emitted as per-bucket counts plus sum and count (bucket b covers
+// values up to BucketUpper(b)). encoding/json sorts map keys, so the output
+// is byte-stable for a deterministic run.
+type jsonlRecord struct {
+	Cycle    int64                `json:"cycle"`
+	Final    bool                 `json:"final,omitempty"`
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges"`
+	Hists    map[string]jsonlHist `json:"hists"`
+}
+
+type jsonlHist struct {
+	Buckets [HistBuckets]int64 `json:"buckets"`
+	Sum     int64              `json:"sum"`
+	Count   int64              `json:"count"`
+}
+
+// JSONLWriter is an Observer that writes one JSON line per sampling period
+// (and a last line marked "final" at OnDone) to an io.Writer: the
+// time-series artifact behind `routesim -metrics out.jsonl`. Write errors
+// are sticky and reported by Err; probes after an error are no-ops.
+type JSONLWriter struct {
+	enc   *json.Encoder
+	every int64
+	err   error
+	wrote int64
+}
+
+// NewJSONLWriter returns a writer sampling every `every` cycles (min 1).
+func NewJSONLWriter(w io.Writer, every int64) *JSONLWriter {
+	if every < 1 {
+		every = 1
+	}
+	return &JSONLWriter{enc: json.NewEncoder(w), every: every}
+}
+
+// Err returns the first write or encode error, if any.
+func (j *JSONLWriter) Err() error { return j.err }
+
+// Lines returns the number of records written so far.
+func (j *JSONLWriter) Lines() int64 { return j.wrote }
+
+func (j *JSONLWriter) OnDeliver(core.Packet, int64) {}
+
+func (j *JSONLWriter) OnCycle(cycle int64, snap *Snapshot) {
+	if cycle%j.every == 0 {
+		j.write(snap, false)
+	}
+}
+
+func (j *JSONLWriter) OnDone(snap *Snapshot) {
+	j.write(snap, true)
+}
+
+func (j *JSONLWriter) write(snap *Snapshot, final bool) {
+	if j.err != nil {
+		return
+	}
+	rec := jsonlRecord{
+		Cycle:    snap.Cycle,
+		Final:    final,
+		Counters: make(map[string]int64, NumCounters),
+		Gauges:   make(map[string]int64, NumGauges),
+		Hists:    make(map[string]jsonlHist, NumHists),
+	}
+	for c := CounterID(0); c < NumCounters; c++ {
+		rec.Counters[c.String()] = snap.Counters[c]
+	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		rec.Gauges[g.String()] = snap.Gauges[g]
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		rec.Hists[h.String()] = jsonlHist{
+			Buckets: snap.Hists[h],
+			Sum:     snap.HistSum[h],
+			Count:   snap.HistCount[h],
+		}
+	}
+	if err := j.enc.Encode(&rec); err != nil {
+		j.err = err
+		return
+	}
+	j.wrote++
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBucketMapping(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 14, 14}, {1<<15 - 1, 14}, {1 << 15, 15}, {1 << 40, 15},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must map back into that bucket, and the
+	// next value into the next bucket.
+	for b := 0; b < HistBuckets-1; b++ {
+		up := BucketUpper(b)
+		if got := BucketOf(up); got != b {
+			t.Errorf("BucketOf(upper(%d)=%d) = %d", b, up, got)
+		}
+		if got := BucketOf(up + 1); got != b+1 {
+			t.Errorf("BucketOf(upper(%d)+1) = %d, want %d", b, got, b+1)
+		}
+	}
+	if BucketUpper(HistBuckets-1) != -1 {
+		t.Errorf("last bucket must be unbounded")
+	}
+}
+
+func TestShardFoldAndSnapshot(t *testing.T) {
+	c := NewCore()
+	var a, b Shard
+	a.Inc(CInjected)
+	a.Add(CMoves, 10)
+	a.GaugeAdd(GQueueOccupancy, 3)
+	a.Observe(HLatency, 5)
+	b.Inc(CInjected)
+	b.GaugeAdd(GQueueOccupancy, -1)
+	b.Observe(HLatency, 9)
+	b.Observe(HQueueLen, 2)
+	c.Fold(&a)
+	c.Fold(&b)
+	c.AddCounter(CDelivered, 7)
+	c.SetGauge(GInFlight, 42)
+	snap := c.EndCycle(12)
+
+	if snap.Cycle != 12 {
+		t.Errorf("Cycle = %d", snap.Cycle)
+	}
+	if snap.Counter(CInjected) != 2 || snap.Counter(CMoves) != 10 || snap.Counter(CDelivered) != 7 {
+		t.Errorf("counters wrong: %+v", snap.Counters)
+	}
+	if snap.Gauge(GQueueOccupancy) != 2 || snap.Gauge(GInFlight) != 42 {
+		t.Errorf("gauges wrong: %+v", snap.Gauges)
+	}
+	if snap.HistCount[HLatency] != 2 || snap.HistSum[HLatency] != 14 {
+		t.Errorf("latency hist wrong: count=%d sum=%d", snap.HistCount[HLatency], snap.HistSum[HLatency])
+	}
+	if got := snap.HistMean(HLatency); got != 7 {
+		t.Errorf("HistMean = %v, want 7", got)
+	}
+	// Folding clears the shard.
+	if a != (Shard{}) || b != (Shard{}) {
+		t.Errorf("Fold must clear the shard")
+	}
+	// Latest returns the published copy.
+	if got := c.Latest(); got != *snap {
+		t.Errorf("Latest != EndCycle snapshot")
+	}
+	c.Reset()
+	if got := c.Latest(); got != (Snapshot{}) {
+		t.Errorf("Reset must clear the published snapshot")
+	}
+}
+
+func TestCanonicalZeroesWorkerDependentMetrics(t *testing.T) {
+	var s Snapshot
+	s.Counters[CMailPosts] = 5
+	s.Gauges[GLiveNodes] = 9
+	s.Counters[CDelivered] = 3
+	canon := s.Canonical()
+	if canon.Counters[CMailPosts] != 0 || canon.Gauges[GLiveNodes] != 0 {
+		t.Errorf("Canonical kept worker-dependent metrics: %+v", canon)
+	}
+	if canon.Counters[CDelivered] != 3 {
+		t.Errorf("Canonical must keep other metrics")
+	}
+}
+
+type countingObserver struct {
+	Base
+	delivers, cycles, dones int
+}
+
+func (c *countingObserver) OnDeliver(core.Packet, int64) { c.delivers++ }
+func (c *countingObserver) OnCycle(int64, *Snapshot)     { c.cycles++ }
+func (c *countingObserver) OnDone(*Snapshot)             { c.dones++ }
+
+func TestMulti(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Errorf("Multi of nils must be nil")
+	}
+	a := &countingObserver{}
+	if got := Multi(nil, a); got != a {
+		t.Errorf("Multi of one observer must unwrap it")
+	}
+	b := &countingObserver{}
+	m := Multi(a, nil, b)
+	var snap Snapshot
+	m.OnDeliver(core.Packet{}, 1)
+	m.OnCycle(0, &snap)
+	m.OnCycle(1, &snap)
+	m.OnDone(&snap)
+	for i, o := range []*countingObserver{a, b} {
+		if o.delivers != 1 || o.cycles != 2 || o.dones != 1 {
+			t.Errorf("observer %d: %+v", i, *o)
+		}
+	}
+}
+
+func TestLatencyObserver(t *testing.T) {
+	l := NewLatency()
+	l.OnDeliver(core.Packet{Hops: 3}, 7)
+	l.OnDeliver(core.Packet{Hops: 4}, 9)
+	if l.Count() != 2 || l.Mean() != 8 {
+		t.Errorf("latency observer: n=%d mean=%v", l.Count(), l.Mean())
+	}
+	var _ Observer = l // must satisfy the interface
+}
+
+func TestSampler(t *testing.T) {
+	s := NewSampler(10)
+	var snap Snapshot
+	for cy := int64(0); cy < 25; cy++ {
+		snap.Cycle = cy + 1
+		snap.Counters[CDelivered] = cy
+		s.OnCycle(cy, &snap)
+	}
+	s.OnDone(&snap)
+	// Cycles 0, 10, 20 sample; OnDone adds the final point.
+	if len(s.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(s.Samples))
+	}
+	if s.Samples[3].Cycle != 25 || s.Samples[3].Delivered != 24 {
+		t.Errorf("final sample wrong: %+v", s.Samples[3])
+	}
+	// OnDone must not duplicate a point already taken at the same cycle.
+	s2 := NewSampler(1)
+	snap.Cycle = 1
+	s2.OnCycle(0, &snap)
+	s2.OnDone(&snap)
+	if len(s2.Samples) != 1 {
+		t.Errorf("OnDone duplicated the final sample: %d", len(s2.Samples))
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONLWriter(&buf, 5)
+	var snap Snapshot
+	for cy := int64(0); cy < 12; cy++ {
+		snap.Cycle = cy + 1
+		snap.Counters[CInjected] = cy * 2
+		j.OnCycle(cy, &snap)
+	}
+	j.OnDone(&snap)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Lines() != 4 { // cycles 0, 5, 10 + final
+		t.Fatalf("lines = %d, want 4", j.Lines())
+	}
+	sc := bufio.NewScanner(&buf)
+	n, finals := 0, 0
+	for sc.Scan() {
+		var rec struct {
+			Cycle    int64            `json:"cycle"`
+			Final    bool             `json:"final"`
+			Counters map[string]int64 `json:"counters"`
+			Hists    map[string]struct {
+				Buckets []int64 `json:"buckets"`
+				Count   int64   `json:"count"`
+			} `json:"hists"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if _, ok := rec.Counters["injected"]; !ok {
+			t.Errorf("line %d: no injected counter", n)
+		}
+		if h, ok := rec.Hists["latency"]; !ok || len(h.Buckets) != HistBuckets {
+			t.Errorf("line %d: bad latency histogram", n)
+		}
+		if rec.Final {
+			finals++
+			if rec.Counters["injected"] != 22 {
+				t.Errorf("final line: injected=%d", rec.Counters["injected"])
+			}
+		}
+		n++
+	}
+	if n != 4 || finals != 1 {
+		t.Errorf("lines=%d finals=%d", n, finals)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var s Snapshot
+	s.Cycle = 100
+	s.Counters[CDelivered] = 50
+	s.Gauges[GQueueOccupancy] = 7
+	s.Hists[HLatency][0] = 2
+	s.Hists[HLatency][3] = 1
+	s.HistSum[HLatency] = 12
+	s.HistCount[HLatency] = 3
+	var buf strings.Builder
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"repro_cycles_total 100",
+		"repro_delivered_total 50",
+		"repro_queue_occupancy 7",
+		`repro_latency_bucket{le="1"} 2`,
+		`repro_latency_bucket{le="15"} 3`, // cumulative through bucket 3
+		`repro_latency_bucket{le="+Inf"} 3`,
+		"repro_latency_sum 12",
+		"repro_latency_count 3",
+		"# TYPE repro_latency histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}

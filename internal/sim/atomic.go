@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queue"
 	"repro/internal/topology"
 	"repro/internal/xrand"
@@ -25,6 +27,7 @@ type AtomicEngine struct {
 	topo    topology.Topology
 	nodes   int
 	classes int
+	obsState
 
 	queues []*queue.FIFO[core.Packet]
 	injQ   []injSlot
@@ -58,6 +61,7 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 	e.nextID = make([]int64, e.nodes)
 	e.active = make([]bool, e.nodes)
 	e.headID = make([]int64, len(e.queues))
+	e.initObs(&cfg)
 	e.reset()
 	return e, nil
 }
@@ -72,6 +76,9 @@ func (e *AtomicEngine) reset() {
 		e.nextID[u] = int64(u) << 36
 		e.active[u] = true
 	}
+	if e.obsOn {
+		e.obsCore.Reset()
+	}
 }
 
 func (e *AtomicEngine) queueAt(node int32, class core.QueueClass) *queue.FIFO[core.Packet] {
@@ -80,15 +87,17 @@ func (e *AtomicEngine) queueAt(node int32, class core.QueueClass) *queue.FIFO[co
 
 // RunStatic simulates until the finite traffic of src has drained.
 func (e *AtomicEngine) RunStatic(src TrafficSource, maxCycles int64) (Metrics, error) {
-	return e.run(src, runWindow{0, -1}, 0, maxCycles, true)
+	res, err := e.run(context.Background(), src, runWindow{0, -1}, 0, maxCycles, true)
+	return res.Metrics, err
 }
 
 // RunDynamic simulates warmup+measure cycles of dynamic injection.
 func (e *AtomicEngine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, error) {
-	return e.run(src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+	res, err := e.run(context.Background(), src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+	return res.Metrics, err
 }
 
-func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (Metrics, error) {
+func (e *AtomicEngine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
 	e.reset()
 	var m Metrics
 	var st cycleStats
@@ -98,15 +107,20 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 	eng := Engine{cfg: e.cfg} // borrow choose()
 
 	for cycle := int64(0); ; cycle++ {
+		if canceled(ctx) {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return e.finish(m, true), ctx.Err()
+		}
 		if stopAt > 0 && cycle >= stopAt {
 			m.Cycles = cycle
 			m.InFlight = m.Injected - m.Delivered
-			return m, nil
+			return e.finish(m, false), nil
 		}
 		if maxCycles > 0 && cycle > maxCycles {
 			m.Cycles = cycle
 			m.InFlight = m.Injected - m.Delivered
-			return m, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+			return e.finish(m, false), fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
 				e.algo.Name(), maxCycles, m.InFlight)
 		}
 		prevMoves := m.Moves
@@ -126,7 +140,13 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 			if win.contains(cycle) {
 				st.attempts++
 			}
+			if e.obsOn {
+				st.obs.Inc(obs.CInjAttempts)
+			}
 			if e.injQ[u].full {
+				if e.obsOn {
+					st.obs.Inc(obs.CInjBackpressure)
+				}
 				continue
 			}
 			dst := src.Take(u, cycle)
@@ -173,6 +193,10 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 				if l := q.Len(); l > st.maxQueue {
 					st.maxQueue = l
 				}
+				if e.obsOn {
+					st.obs.GaugeAdd(obs.GQueueOccupancy, 1)
+					st.obs.Observe(obs.HQueueLen, int64(q.Len()))
+				}
 				sl.full = false
 				st.moves++
 			}
@@ -197,12 +221,18 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 					}
 				}
 				if nAdm == 0 {
+					if e.obsOn {
+						st.obs.Inc(obs.COutputStalls)
+					}
 					continue
 				}
 				mv := moves[eng.choose(r, moves, adm[:nAdm])]
 				switch {
 				case mv.Deliver:
 					pkt, _ = q.Pop()
+					if e.obsOn {
+						st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
+					}
 					e.deliverAtomic(pkt, cycle, win, &st)
 				case mv.Node == u && mv.Class == core.QueueClass(c) && mv.Port == core.PortInternal:
 					pkt.Work = mv.Work
@@ -219,6 +249,13 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 					q2.Push(pkt)
 					if l := q2.Len(); l > st.maxQueue {
 						st.maxQueue = l
+					}
+					if e.obsOn {
+						// Pop and push cancel in the occupancy gauge.
+						st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
+						if mv.Port != core.PortInternal {
+							st.obs.Inc(obs.CLinkTransfers)
+						}
 					}
 					st.moves++
 					if mv.Kind == core.Dynamic {
@@ -242,20 +279,37 @@ func (e *AtomicEngine) run(src TrafficSource, win runWindow, stopAt, maxCycles i
 		if st.maxQueue > m.MaxQueue {
 			m.MaxQueue = st.maxQueue
 		}
+		if e.obsOn {
+			sh := &st.obs
+			sh.Add(obs.CInjected, st.injected)
+			sh.Add(obs.CDelivered, st.delivered)
+			sh.Add(obs.CMoves, st.moves)
+			sh.Add(obs.CDynamicMoves, st.dynamicMoves)
+			e.obsCore.Fold(sh)
+		}
 		st = cycleStats{}
 		m.Cycles = cycle + 1
 		m.InFlight = m.Injected - m.Delivered
+		if e.obsOn {
+			c := e.obsCore
+			c.SetGauge(obs.GInFlight, m.InFlight)
+			c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
+			snap := c.EndCycle(m.Cycles)
+			if e.observer != nil {
+				e.observer.OnCycle(cycle, snap)
+			}
+		}
 		if e.cfg.OnCycle != nil {
 			e.cfg.OnCycle(cycle)
 		}
 
 		if drain && m.InFlight == 0 && e.allExhausted(src) {
-			return m, nil
+			return e.finish(m, false), nil
 		}
 		if m.Moves == prevMoves && m.InFlight > 0 {
 			idle++
 			if idle >= e.cfg.DeadlockWindow {
-				return m, &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+				return e.finish(m, false), &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
 			}
 		} else {
 			idle = 0
@@ -312,6 +366,12 @@ func (e *AtomicEngine) deliverAtomic(pkt core.Packet, cycle int64, win runWindow
 	lat := cycle - pkt.InjectedAt + 1
 	if e.cfg.OnDeliver != nil {
 		e.cfg.OnDeliver(pkt, lat)
+	}
+	if e.observer != nil {
+		e.observer.OnDeliver(pkt, lat)
+	}
+	if e.obsOn {
+		st.obs.Observe(obs.HLatency, lat)
 	}
 	if win.contains(cycle) {
 		st.latencySum += lat

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
@@ -147,6 +149,8 @@ type Engine struct {
 	slotPort [64]uint8 // waitFast: outMask bit -> port (avoids a division)
 	owner    []int32   // node -> owning worker (avoids a division per transfer)
 
+	obsState
+
 	workers  int
 	chunk    int          // nodes per worker shard, multiple of 64
 	statsBuf []cycleStats // one per worker
@@ -197,6 +201,11 @@ type cycleStats struct {
 	measured     int64
 	maxQueue     int
 	_            [40]byte // pad to avoid false sharing between workers
+
+	// obs is the worker's metric shard, folded into the engine's obs.Core
+	// at the same barrier that merges the fields above. It stays zero (and
+	// unread) unless the engine's metrics core is enabled.
+	obs obs.Shard
 }
 
 // NewEngine builds a buffered engine for the given configuration. Engines
@@ -314,6 +323,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for i := range e.mail {
 		e.mail[i] = make([][]int32, e.workers)
 	}
+	e.initObs(&cfg)
 	if e.workers > 1 {
 		e.pool = newPhasePool(e.workers)
 		runtime.SetFinalizer(e, (*Engine).stopPool)
@@ -381,6 +391,9 @@ func (e *Engine) reset() {
 			lanes[i] = lanes[i][:0]
 		}
 	}
+	if e.obsOn {
+		e.obsCore.Reset()
+	}
 }
 
 // shard returns worker w's node range.
@@ -437,6 +450,11 @@ func (e *Engine) qPush(u int32, qi int, pkt *core.Packet) int {
 	} else {
 		e.occ[qi]++
 	}
+	if e.obsOn {
+		sh := &e.statsBuf[e.owner[u]].obs
+		sh.GaugeAdd(obs.GQueueOccupancy, 1)
+		sh.Observe(obs.HQueueLen, int64(n+1))
+	}
 	return int(n + 1)
 }
 
@@ -475,6 +493,9 @@ func (e *Engine) qDrop(u int32, qi int, idx int32) {
 		atomic.AddInt32(&e.occ[qi], -1)
 	} else {
 		e.occ[qi]--
+	}
+	if e.obsOn {
+		e.statsBuf[e.owner[u]].obs.GaugeAdd(obs.GQueueOccupancy, -1)
 	}
 }
 
@@ -521,19 +542,23 @@ func (w runWindow) contains(cycle int64) bool {
 // RunStatic injects the (finite) traffic of src and simulates until every
 // packet has been delivered, returning the full-run metrics. It returns
 // *ErrDeadlock if the watchdog fires and an error if maxCycles (0 = none) is
-// exceeded.
+// exceeded. It is equivalent to Run with a background context and
+// StaticPlan; use Run for cancellation and the full RunResult.
 func (e *Engine) RunStatic(src TrafficSource, maxCycles int64) (Metrics, error) {
-	return e.run(src, runWindow{0, -1}, 0, maxCycles, true)
+	res, err := e.run(context.Background(), src, runWindow{0, -1}, 0, maxCycles, true)
+	return res.Metrics, err
 }
 
 // RunDynamic simulates warmup+measure cycles of dynamic injection,
 // measuring latency and the effective injection rate over deliveries and
-// attempts that fall in the measurement window.
+// attempts that fall in the measurement window. It is equivalent to Run
+// with a background context and DynamicPlan.
 func (e *Engine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, error) {
-	return e.run(src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+	res, err := e.run(context.Background(), src, runWindow{warmup, warmup + measure}, warmup+measure, warmup+measure, false)
+	return res.Metrics, err
 }
 
-func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (Metrics, error) {
+func (e *Engine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
 	e.reset()
 	e.curSrc, e.curWin = src, win
 	// The four phase closures are built once per run; the pool releases
@@ -551,15 +576,20 @@ func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, 
 	var m Metrics
 	idle := 0
 	for cycle := int64(0); ; cycle++ {
+		if canceled(ctx) {
+			m.Cycles = cycle
+			m.InFlight = m.Injected - m.Delivered
+			return e.finish(m, true), ctx.Err()
+		}
 		if stopAt > 0 && cycle >= stopAt {
 			m.Cycles = cycle
 			m.InFlight = m.Injected - m.Delivered
-			return m, nil
+			return e.finish(m, false), nil
 		}
 		if maxCycles > 0 && cycle > maxCycles {
 			m.Cycles = cycle
 			m.InFlight = m.Injected - m.Delivered
-			return m, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+			return e.finish(m, false), fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
 				e.algo.Name(), maxCycles, m.InFlight)
 		}
 
@@ -572,22 +602,41 @@ func (e *Engine) run(src TrafficSource, win runWindow, stopAt, maxCycles int64, 
 		e.mergeCycle(&m)
 		m.Cycles = cycle + 1
 		m.InFlight = m.Injected - m.Delivered
+		if e.obsOn {
+			c := e.obsCore
+			c.SetGauge(obs.GInFlight, m.InFlight)
+			c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
+			c.SetGauge(obs.GLiveNodes, e.liveCount())
+			snap := c.EndCycle(m.Cycles)
+			if e.observer != nil {
+				e.observer.OnCycle(cycle, snap)
+			}
+		}
 		if e.cfg.OnCycle != nil {
 			e.cfg.OnCycle(cycle)
 		}
 
 		if drain && m.InFlight == 0 && e.allExhausted(src) {
-			return m, nil
+			return e.finish(m, false), nil
 		}
 		if m.Moves == prevMoves && m.InFlight > 0 {
 			idle++
 			if idle >= e.cfg.DeadlockWindow {
-				return m, &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+				return e.finish(m, false), &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
 			}
 		} else {
 			idle = 0
 		}
 	}
+}
+
+// liveCount returns the number of nodes on the active worklist.
+func (e *Engine) liveCount() int64 {
+	n := 0
+	for _, w := range e.liveBits {
+		n += bits.OnesCount64(w)
+	}
+	return int64(n)
 }
 
 // exec runs one phase across the worker shards: inline with one worker, on
@@ -617,7 +666,10 @@ func (e *Engine) allExhausted(src TrafficSource) bool {
 }
 
 // mergeCycle folds the per-worker cycle stats into the run metrics, once
-// per cycle.
+// per cycle. With the metrics core enabled it also mirrors the fields the
+// metrics share with Metrics into each worker's obs shard (so the hot loop
+// never double-counts them) and folds the shards — in worker order, so the
+// merged snapshot is bit-deterministic.
 func (e *Engine) mergeCycle(m *Metrics) {
 	for i := range e.statsBuf {
 		st := &e.statsBuf[i]
@@ -634,6 +686,14 @@ func (e *Engine) mergeCycle(m *Metrics) {
 		}
 		if st.maxQueue > m.MaxQueue {
 			m.MaxQueue = st.maxQueue
+		}
+		if e.obsOn {
+			sh := &st.obs
+			sh.Add(obs.CInjected, st.injected)
+			sh.Add(obs.CDelivered, st.delivered)
+			sh.Add(obs.CMoves, st.moves)
+			sh.Add(obs.CDynamicMoves, st.dynamicMoves)
+			e.obsCore.Fold(sh)
 		}
 		*st = cycleStats{}
 	}
@@ -682,6 +742,12 @@ func (e *Engine) injectNode(u int32, cycle int64, src TrafficSource, win runWind
 	if win.contains(cycle) {
 		st.attempts++
 	}
+	if e.obsOn {
+		st.obs.Inc(obs.CInjAttempts)
+		if e.injQ[u].full {
+			st.obs.Inc(obs.CInjBackpressure)
+		}
+	}
 	if e.injQ[u].full {
 		return // injection queue occupied: the attempt fails
 	}
@@ -729,6 +795,7 @@ func (e *Engine) workerPhaseA(w int) {
 func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats, sc *workerScratch) {
 	r := &e.rngs[u]
 	wf := e.waitFast
+	on := e.obsOn
 	pol := e.cfg.Policy
 	headOnly := e.cfg.HeadOnly
 	// fastAdm marks configurations whose remote uncredited moves are decided
@@ -777,6 +844,9 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 				// waiting on is still full, the candidate scan is known to
 				// fail and is skipped outright.
 				if wmask := e.qwait[pi]; wmask != 0 && e.outMask[u]&wmask == wmask {
+					if on {
+						st.obs.Inc(obs.CWaitParked)
+					}
 					idx++
 					continue
 				}
@@ -813,6 +883,9 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 					if found < 0 {
 						if wf {
 							e.qwait[pi] = fail // every failure was a full buffer
+						}
+						if on {
+							st.obs.Inc(obs.COutputStalls)
 						}
 						idx++
 						continue
@@ -897,6 +970,9 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 						m = 0 // uncacheable failure mode; rescan next cycle
 					}
 					e.qwait[pi] = m
+				}
+				if on {
+					st.obs.Inc(obs.COutputStalls)
 				}
 				idx++
 				continue
@@ -1205,6 +1281,9 @@ func (e *Engine) cutThrough(u int32, si int32, src *core.Packet, st *cycleStats,
 		if mv.Kind == core.Dynamic {
 			st.dynamicMoves++
 		}
+		if e.obsOn {
+			st.obs.Inc(obs.CCutThrough)
+		}
 		return true
 	}
 	return false
@@ -1302,12 +1381,18 @@ func (e *Engine) linkTransfer(u int32, l, p, w int, st *cycleStats) {
 		}
 		e.linkRR[l] = uint32(start)
 		st.moves++
+		if e.obsOn {
+			st.obs.Inc(obs.CLinkTransfers)
+		}
 		v := e.nbr[l]
 		if dw := e.owner[v]; int(dw) == w {
 			e.inCount[v]++
 			e.setLive(v)
 		} else {
 			e.mail[dw][w] = append(e.mail[dw][w], v)
+			if e.obsOn {
+				st.obs.Inc(obs.CMailPosts)
+			}
 		}
 		return // one packet per link per cycle
 	}
@@ -1333,6 +1418,12 @@ func (e *Engine) deliver(pkt core.Packet, cycle int64, win runWindow, st *cycleS
 	lat := cycle - pkt.InjectedAt + 1
 	if e.cfg.OnDeliver != nil {
 		e.cfg.OnDeliver(pkt, lat)
+	}
+	if e.observer != nil {
+		e.observer.OnDeliver(pkt, lat)
+	}
+	if e.obsOn {
+		st.obs.Observe(obs.HLatency, lat)
 	}
 	if win.contains(cycle) {
 		st.latencySum += lat

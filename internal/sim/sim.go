@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TrafficSource drives injection. Implementations live in internal/traffic;
@@ -132,13 +133,33 @@ type Config struct {
 	// over the buffered node model: the adaptive choice is made against the
 	// state of the target queues rather than only the local buffers.
 	RemoteLookahead bool
+	// Observer, if set, receives the run's delivery, per-cycle, and
+	// end-of-run probes together with the merged metric snapshots; compose
+	// several with obs.Multi. Attaching an observer enables the metrics
+	// core for the run (see Metrics). Observers are read-only taps: for a
+	// fixed seed, Metrics and the final snapshot are bit-identical with or
+	// without one attached.
+	Observer obs.Observer
+	// Metrics enables the metrics core even without an Observer: the run's
+	// RunResult then carries the final snapshot, and Engine.Obs exposes
+	// the live core (e.g. for a /metrics endpoint). With neither Metrics
+	// nor Observer set, the instrumentation is compiled out of the hot
+	// loop behind a single predictable branch.
+	Metrics bool
 	// OnDeliver, if set, is called at every delivery with the packet and
 	// its measured latency (cycles since network entry). With Workers > 1
 	// it is called concurrently and must be safe for parallel use.
+	//
+	// Deprecated: attach an Observer instead (obs.NewLatency replaces the
+	// typical latency-collector use). The field keeps working and may be
+	// combined with an Observer.
 	OnDeliver func(pkt core.Packet, latency int64)
 	// OnCycle, if set, is called once at the end of every simulated cycle,
 	// outside the parallel phases, so it may safely inspect the engine
 	// (e.g. through Snapshot) to sample congestion over time.
+	//
+	// Deprecated: attach an Observer instead; its OnCycle probe also
+	// receives the merged metric snapshot. The field keeps working.
 	OnCycle func(cycle int64)
 }
 

@@ -1,0 +1,104 @@
+package repro
+
+import "repro/internal/obs"
+
+// EngineOption customizes an engine built by NewEngineOpts or
+// NewAtomicEngineOpts. Options apply over the zero Config in order, so a
+// later option overrides an earlier one; anything left unset keeps the
+// Config defaults (queue capacity 5, PolicyFirstFree, one worker).
+//
+// The plain NewEngine(Config) constructor keeps working; the options form
+// is a convenience over exactly the same Config.
+type EngineOption func(*Config)
+
+// WithQueueCap sets the central-queue capacity (the paper fixes 5).
+func WithQueueCap(capacity int) EngineOption {
+	return func(c *Config) { c.QueueCap = capacity }
+}
+
+// WithPolicy sets the selection policy among admissible moves.
+func WithPolicy(p Policy) EngineOption {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithSeed sets the reproducibility seed; results are independent of the
+// worker count for a fixed seed.
+func WithSeed(seed int64) EngineOption {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithWorkers shards the nodes across n goroutines (buffered engine only;
+// the atomic engine is inherently sequential and ignores it).
+func WithWorkers(n int) EngineOption {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithObserver attaches an observer to the run and enables the metrics
+// core. Compose several with MultiObserver; observers are read-only taps,
+// so attaching one never changes the simulation outcome.
+func WithObserver(o Observer) EngineOption {
+	return func(c *Config) { c.Observer = o }
+}
+
+// WithMetrics enables the metrics core without attaching an observer:
+// Run's RunResult then carries the final snapshot and Engine.Obs exposes
+// the live core (e.g. for a /metrics endpoint).
+func WithMetrics() EngineOption {
+	return func(c *Config) { c.Metrics = true }
+}
+
+// WithCutThrough enables virtual cut-through switching [KK79].
+func WithCutThrough() EngineOption {
+	return func(c *Config) { c.CutThrough = true }
+}
+
+// WithRemoteLookahead makes moves commit against target-queue state
+// (Section 2's abstract Route(q) over the buffered model).
+func WithRemoteLookahead() EngineOption {
+	return func(c *Config) { c.RemoteLookahead = true }
+}
+
+// WithHeadOnly restricts node phase (a) to queue heads (the strict
+// Section 2 reading) as an ablation of head-of-line blocking.
+func WithHeadOnly() EngineOption {
+	return func(c *Config) { c.HeadOnly = true }
+}
+
+// WithDeadlockWindow sets the no-progress window after which the watchdog
+// aborts with ErrDeadlock (default 1000 cycles).
+func WithDeadlockWindow(cycles int) EngineOption {
+	return func(c *Config) { c.DeadlockWindow = cycles }
+}
+
+// buildConfig folds the options over a zero Config for algo.
+func buildConfig(algo Algorithm, opts []EngineOption) Config {
+	cfg := Config{Algorithm: algo}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// NewEngineOpts builds the buffered cycle-accurate engine from functional
+// options:
+//
+//	eng, err := repro.NewEngineOpts(algo,
+//	    repro.WithQueueCap(5),
+//	    repro.WithWorkers(4),
+//	    repro.WithObserver(repro.NewLatencyObserver()))
+func NewEngineOpts(algo Algorithm, opts ...EngineOption) (*Engine, error) {
+	return NewEngine(buildConfig(algo, opts))
+}
+
+// NewAtomicEngineOpts builds the abstract queue-to-queue engine from
+// functional options; see NewEngineOpts.
+func NewAtomicEngineOpts(algo Algorithm, opts ...EngineOption) (*AtomicEngine, error) {
+	return NewAtomicEngine(buildConfig(algo, opts))
+}
+
+// MultiObserver composes observers into one that fans every probe out to
+// each in order. Nils are dropped; a single survivor is returned unwrapped
+// and zero survivors yield nil.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
