@@ -18,17 +18,15 @@
 package repro
 
 import (
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/qdg"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/stats"
-	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -50,6 +48,17 @@ type (
 	Engine = sim.Engine
 	// AtomicEngine is the abstract queue-to-queue simulator (Section 2).
 	AtomicEngine = sim.AtomicEngine
+	// Simulator is the engine-agnostic run API (Run, Step, Snapshot,
+	// Metrics, ...) implemented by both Engine and AtomicEngine; build one
+	// with NewSimulator.
+	Simulator = sim.Simulator
+	// FaultPlan schedules deterministic link and node failures for a run;
+	// assign one to Config.Faults or WithFaultPlan. Build it with the
+	// FaultPlan methods or parse a textual spec with ParseFaultSpec.
+	FaultPlan = fault.Plan
+	// DeadlockDump is the wait-for state captured when the deadlock watchdog
+	// fires (ErrDeadlock.Dump, and the OnDeadlock observer probe).
+	DeadlockDump = obs.DeadlockDump
 	// TrafficSource drives packet injection.
 	TrafficSource = sim.TrafficSource
 	// Pattern maps sources to destinations.
@@ -65,6 +74,9 @@ type (
 	// with Config.Observer or WithObserver. See the internal/obs package
 	// docs for the probe contract.
 	Observer = obs.Observer
+	// ObserverBase is a no-op Observer for embedding: override only the
+	// probes you need.
+	ObserverBase = obs.Base
 	// MetricSnapshot is a merged, fixed-size snapshot of the metrics core:
 	// counters, gauges, and exponential histograms at one cycle boundary.
 	MetricSnapshot = obs.Snapshot
@@ -116,26 +128,38 @@ const (
 	CWaitParked      = obs.CWaitParked
 	CMailPosts       = obs.CMailPosts
 	CCutThrough      = obs.CCutThrough
+	CMisrouted       = obs.CMisrouted
+	CFaultDrops      = obs.CFaultDrops
+	CInjRetries      = obs.CInjRetries
 
 	GQueueOccupancy = obs.GQueueOccupancy
 	GInFlight       = obs.GInFlight
 	GMaxQueue       = obs.GMaxQueue
 	GLiveNodes      = obs.GLiveNodes
+	GDeadLinks      = obs.GDeadLinks
+	GDeadNodes      = obs.GDeadNodes
 
 	HLatency  = obs.HLatency
 	HQueueLen = obs.HQueueLen
+	HDropAge  = obs.HDropAge
 )
 
 // LatencyCollector accumulates per-delivery latency statistics (mean,
 // percentiles, histograms). Assign its OnDeliver method to Config.OnDeliver.
 //
 // Deprecated: use NewLatencyObserver with Config.Observer / WithObserver;
-// it wraps the same collector behind the Observer interface.
+// it wraps the same collector behind the Observer interface. Removal
+// timeline: LatencyCollector, NewLatencyCollector and the raw
+// Config.OnDeliver / Config.OnCycle callbacks were deprecated when the
+// Observer API landed (PR 2); they remain supported through the v0.x line
+// and will be removed together in v1. No code in this repository uses them
+// anymore.
 type LatencyCollector = stats.Collector
 
 // NewLatencyCollector returns an empty latency collector.
 //
-// Deprecated: use NewLatencyObserver.
+// Deprecated: use NewLatencyObserver (see LatencyCollector for the removal
+// timeline).
 func NewLatencyCollector() *LatencyCollector { return stats.NewCollector() }
 
 // NewLatencyObserver returns an empty latency-collecting observer.
@@ -163,220 +187,53 @@ func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
 // NewAtomicEngine returns the abstract queue-to-queue simulator for cfg.
 func NewAtomicEngine(cfg Config) (*AtomicEngine, error) { return sim.NewAtomicEngine(cfg) }
 
-// AlgorithmNames lists the specs accepted by NewAlgorithm.
-func AlgorithmNames() []string {
-	return []string{
-		"hypercube-adaptive:<dims>",
-		"hypercube-hung:<dims>",
-		"hypercube-ecube:<dims>",
-		"mesh-adaptive:<side>x<side>[x...]",
-		"mesh-twophase:<side>x<side>[x...]",
-		"mesh-xy:<side>x<side>[x...]",
-		"shuffle-adaptive:<dims>",
-		"shuffle-static:<dims>",
-		"shuffle-eager:<dims>",
-		"ccc-adaptive:<dims>",
-		"ccc-static:<dims>",
-		"torus-adaptive:<side>x<side>[x...]",
-	}
-}
+// EngineNames lists the engine kinds accepted by NewSimulator.
+func EngineNames() []string { return sim.EngineKinds }
 
-// maxSpecNodes caps the node count a textual spec may ask for, so a typo
-// like "mesh-adaptive:100000x100000" fails fast instead of allocating.
-const maxSpecNodes = 1 << 24
+// NewSimulator builds the simulation engine selected by kind — "buffered"
+// (or "") for the cycle-accurate Engine, "atomic" for the AtomicEngine —
+// behind the engine-agnostic Simulator API.
+func NewSimulator(kind string, cfg Config) (Simulator, error) { return sim.NewSimulator(kind, cfg) }
+
+// ParseFaultSpec parses a textual fault schedule into a FaultPlan. The spec
+// is a comma-separated list of:
+//
+//	link:<node>:<port>@<cycle>[+<dur>]   one directed link (and its reverse)
+//	node:<node>@<cycle>[+<dur>]          one node with all its links
+//	links:<frac>[:<seed>]@<cycle>[+<dur>]  a seeded random fraction of links
+//	nodes:<frac>[:<seed>]@<cycle>[+<dur>]  a seeded random fraction of nodes
+//
+// Without +<dur> the failure is permanent; with it the component revives
+// after dur cycles. Example: "links:0.05@0,node:3@100+50".
+func ParseFaultSpec(s string) (*FaultPlan, error) { return fault.ParseSpec(s) }
+
+// FaultForever marks a FaultPlan failure with no scheduled recovery.
+const FaultForever = fault.Forever
+
+// AlgorithmNames lists the specs accepted by NewAlgorithm.
+func AlgorithmNames() []string { return spec.AlgorithmNames() }
+
+// PatternNames lists the specs accepted by NewPattern.
+func PatternNames() []string { return spec.PatternNames() }
 
 // NewAlgorithm builds an algorithm from a textual spec such as
-// "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8".
-// Malformed or out-of-range sizes (e.g. "hypercube-adaptive:-1",
-// "mesh-adaptive:0x5") are reported as errors, never panics: each family's
-// topology bounds — hypercube and shuffle-exchange dimension, CCC order,
-// minimum mesh/torus sides — are validated here before construction.
-func NewAlgorithm(spec string) (Algorithm, error) {
-	name, arg, ok := strings.Cut(spec, ":")
-	if !ok {
-		return nil, fmt.Errorf("repro: algorithm spec %q needs a size, e.g. %q", spec, "hypercube-adaptive:10")
-	}
-	dims := func(lo, hi int) (int, error) {
-		d, err := strconv.Atoi(arg)
-		if err != nil {
-			return 0, fmt.Errorf("repro: bad dimension %q in %q", arg, spec)
-		}
-		if d < lo || d > hi {
-			return 0, fmt.Errorf("repro: %s: dimension %d out of range [%d,%d]", spec, d, lo, hi)
-		}
-		return d, nil
-	}
-	shape := func(minSide int) ([]int, error) {
-		parts := strings.Split(arg, "x")
-		out := make([]int, len(parts))
-		nodes := 1
-		for i, p := range parts {
-			v, err := strconv.Atoi(p)
-			if err != nil {
-				return nil, fmt.Errorf("repro: bad shape %q in %q", arg, spec)
-			}
-			if v < minSide {
-				return nil, fmt.Errorf("repro: %s: side %d must be >= %d, got %d", spec, i, minSide, v)
-			}
-			if nodes > maxSpecNodes/v {
-				return nil, fmt.Errorf("repro: %s: more than %d nodes", spec, maxSpecNodes)
-			}
-			nodes *= v
-			out[i] = v
-		}
-		return out, nil
-	}
-	switch name {
-	case "hypercube-adaptive":
-		d, err := dims(1, 30)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewHypercubeAdaptive(d), nil
-	case "hypercube-hung":
-		d, err := dims(1, 30)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewHypercubeHung(d), nil
-	case "hypercube-ecube":
-		d, err := dims(1, 30)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewHypercubeECube(d), nil
-	case "mesh-adaptive":
-		s, err := shape(1)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewMeshAdaptive(s...), nil
-	case "mesh-twophase":
-		s, err := shape(1)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewMeshTwoPhase(s...), nil
-	case "mesh-xy":
-		s, err := shape(1)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewMeshXY(s...), nil
-	case "shuffle-adaptive":
-		d, err := dims(1, 26)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewShuffleExchangeAdaptive(d), nil
-	case "shuffle-static":
-		d, err := dims(1, 26)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewShuffleExchangeStatic(d), nil
-	case "shuffle-eager":
-		d, err := dims(1, 26)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewShuffleExchangeEager(d), nil
-	case "ccc-adaptive":
-		d, err := dims(2, 16)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewCCCAdaptive(d), nil
-	case "ccc-static":
-		d, err := dims(2, 16)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewCCCStatic(d), nil
-	case "torus-adaptive":
-		s, err := shape(3)
-		if err != nil {
-			return nil, err
-		}
-		return core.NewTorusAdaptive(s...), nil
-	}
-	return nil, fmt.Errorf("repro: unknown algorithm %q (known: %s)", name, strings.Join(AlgorithmNames(), ", "))
-}
+// "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8"
+// (see AlgorithmNames for the full list, and internal/spec for the grammar).
+// Malformed or out-of-range sizes are reported as errors, never panics.
+func NewAlgorithm(s string) (Algorithm, error) { return spec.Algorithm(s) }
+
+// AlgorithmSpec renders the canonical spec of an algorithm built by
+// NewAlgorithm, such that NewAlgorithm(AlgorithmSpec(a)) reconstructs an
+// equivalent algorithm.
+func AlgorithmSpec(a Algorithm) (string, error) { return spec.Format(a) }
 
 // NewPattern builds a traffic pattern from a textual spec for an algorithm's
 // topology: "random", "complement", "transpose", "leveled", "bit-reversal",
 // "mesh-transpose" and "hotspot:<fraction>". Hypercube-address patterns
 // (complement, transpose, leveled, bit-reversal) require a power-of-two node
 // count; mesh-transpose requires a square 2-dimensional mesh or torus.
-func NewPattern(spec string, a Algorithm, seed int64) (Pattern, error) {
-	topo := a.Topology()
-	nodes := topo.Nodes()
-	bits := func() (int, error) {
-		b := 0
-		for 1<<b < nodes {
-			b++
-		}
-		if 1<<b != nodes {
-			return 0, fmt.Errorf("repro: pattern %q needs a power-of-two node count, have %d", spec, nodes)
-		}
-		return b, nil
-	}
-	name, arg, _ := strings.Cut(spec, ":")
-	switch name {
-	case "random":
-		return traffic.Random{Nodes: nodes}, nil
-	case "complement":
-		b, err := bits()
-		if err != nil {
-			return nil, err
-		}
-		return traffic.Complement{Bits: b}, nil
-	case "transpose":
-		b, err := bits()
-		if err != nil {
-			return nil, err
-		}
-		return traffic.Transpose{Bits: b}, nil
-	case "leveled":
-		b, err := bits()
-		if err != nil {
-			return nil, err
-		}
-		return traffic.NewLeveled(b, seed), nil
-	case "bit-reversal":
-		b, err := bits()
-		if err != nil {
-			return nil, err
-		}
-		return traffic.BitReversal{Bits: b}, nil
-	case "mesh-transpose":
-		side := 0
-		switch t := topo.(type) {
-		case *topology.Mesh:
-			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
-				side = t.Shape()[0]
-			}
-		case *topology.Torus:
-			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
-				side = t.Shape()[0]
-			}
-		}
-		if side == 0 {
-			return nil, fmt.Errorf("repro: mesh-transpose needs a square 2-dimensional mesh or torus, have %s", topo.Name())
-		}
-		return traffic.MeshTranspose{Side: side}, nil
-	case "hotspot":
-		frac := 0.2
-		if arg != "" {
-			v, err := strconv.ParseFloat(arg, 64)
-			if err != nil || !(v >= 0 && v <= 1) { // rejects NaN too
-				return nil, fmt.Errorf("repro: bad hotspot fraction %q", arg)
-			}
-			frac = v
-		}
-		return traffic.Hotspot{Nodes: nodes, Hot: int32(nodes / 2), Fraction: frac}, nil
-	}
-	return nil, fmt.Errorf("repro: unknown pattern %q", spec)
+func NewPattern(s string, a Algorithm, seed int64) (Pattern, error) {
+	return spec.Pattern(s, a, seed)
 }
 
 // NewStaticTraffic returns the paper's static injection model: perNode
@@ -394,8 +251,10 @@ func NewDynamicTraffic(p Pattern, a Algorithm, lambda float64, seed int64) Traff
 // VerifyDeadlockFree builds the algorithm's queue dependency graph by
 // exhaustive exploration and certifies the paper's deadlock-freedom
 // conditions: the static edges form a DAG (up to certified bubble rings)
-// and every dynamic link retains a static escape. Exploration is
-// exhaustive, so use small instances (hundreds of nodes).
+// and every dynamic link retains a static escape. A cycle the certification
+// cannot discharge is reported as a *qdg.CycleError carrying the offending
+// queue path (node and class, queue by queue). Exploration is exhaustive,
+// so use small instances (hundreds of nodes).
 func VerifyDeadlockFree(a Algorithm) error {
 	g, err := qdg.Build(a)
 	if err != nil {

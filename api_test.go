@@ -195,13 +195,13 @@ func TestDescribeNodeFacade(t *testing.T) {
 	}
 }
 
-func TestLatencyCollectorFacade(t *testing.T) {
+func TestLatencyObserverFacade(t *testing.T) {
 	algo, err := repro.NewAlgorithm("hypercube-adaptive:5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	col := repro.NewLatencyCollector()
-	eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 1, OnDeliver: col.OnDeliver})
+	col := repro.NewLatencyObserver()
+	eng, err := repro.NewEngineOpts(algo, repro.WithSeed(1), repro.WithObserver(col))
 	if err != nil {
 		t.Fatal(err)
 	}

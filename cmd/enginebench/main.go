@@ -31,6 +31,7 @@ func main() {
 		repeat  = flag.Int("repeat", 3, "timed repetitions per cell (fastest kept)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		base    = flag.String("baseline", "", "label of a recorded run to print speedups against (default: first run in the file)")
+		note    = flag.String("note", "", "free-form context recorded with the run (e.g. host conditions)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	}
 	run, err := bench.RunEngineBench(*label, cfg)
 	fatal(err)
+	run.Note = *note
 
 	var baseline *bench.EngineBenchRun
 	if *out != "" {

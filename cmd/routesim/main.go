@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -28,30 +29,33 @@ import (
 
 func main() {
 	var (
-		algoSpec = flag.String("algo", "hypercube-adaptive:8", "algorithm spec, e.g. hypercube-adaptive:10, mesh-adaptive:16x16 (see -list)")
-		list     = flag.Bool("list", false, "list known algorithm specs and exit")
-		pattern  = flag.String("pattern", "random", "traffic pattern: random|complement|transpose|leveled|bit-reversal|mesh-transpose|hotspot:<frac>")
-		inject   = flag.String("inject", "static", "injection model: static|dynamic")
-		packets  = flag.Int("packets", 1, "static model: packets per node")
-		lambda   = flag.Float64("lambda", 1.0, "dynamic model: per-cycle injection probability")
-		warmup   = flag.Int64("warmup", 500, "dynamic model: warmup cycles")
-		measure  = flag.Int64("measure", 1500, "dynamic model: measured cycles")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		cap_     = flag.Int("cap", 5, "central queue capacity")
-		policy   = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
-		engine   = flag.String("engine", "buffered", "engine: buffered (Sections 6-7 node model) | atomic (Section 2 model) | wormhole (flit-level, use a wh-* algo)")
-		flits    = flag.Int("flits", 8, "wormhole engine: flits per worm")
-		vcbuf    = flag.Int("vcbuf", 2, "wormhole engine: flit buffer per virtual channel")
-		workers  = flag.Int("workers", 1, "parallel workers for the buffered engine")
-		verify   = flag.Bool("verify", false, "verify deadlock freedom via the QDG checker first (small networks only)")
-		hist     = flag.Bool("hist", false, "print a latency histogram and percentiles")
-		vct      = flag.Bool("vct", false, "virtual cut-through switching [KK79] instead of store-and-forward")
-		maxCyc   = flag.Int64("maxcycles", 10_000_000, "static model: abort after this many cycles")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		metrics  = flag.String("metrics", "", "write metric snapshots as JSON lines to this file ('-' for stdout)")
-		mEvery   = flag.Int64("metrics-every", 100, "sampling period of -metrics, in cycles")
-		httpAddr = flag.String("http", "", "serve Prometheus /metrics and /debug/pprof on this address during the run, e.g. :6060")
+		algoSpec  = flag.String("algo", "hypercube-adaptive:8", "algorithm spec, e.g. hypercube-adaptive:10, mesh-adaptive:16x16 (see -list)")
+		list      = flag.Bool("list", false, "list known algorithm specs and exit")
+		pattern   = flag.String("pattern", "random", "traffic pattern: random|complement|transpose|leveled|bit-reversal|mesh-transpose|hotspot:<frac>")
+		inject    = flag.String("inject", "static", "injection model: static|dynamic")
+		packets   = flag.Int("packets", 1, "static model: packets per node")
+		lambda    = flag.Float64("lambda", 1.0, "dynamic model: per-cycle injection probability")
+		warmup    = flag.Int64("warmup", 500, "dynamic model: warmup cycles")
+		measure   = flag.Int64("measure", 1500, "dynamic model: measured cycles")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		cap_      = flag.Int("cap", 5, "central queue capacity")
+		policy    = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+		engine    = flag.String("engine", "buffered", "engine: buffered (Sections 6-7 node model) | atomic (Section 2 model) | wormhole (flit-level, use a wh-* algo)")
+		flits     = flag.Int("flits", 8, "wormhole engine: flits per worm")
+		vcbuf     = flag.Int("vcbuf", 2, "wormhole engine: flit buffer per virtual channel")
+		workers   = flag.Int("workers", 1, "parallel workers for the buffered engine")
+		verify    = flag.Bool("verify", false, "verify deadlock freedom via the QDG checker first (small networks only)")
+		hist      = flag.Bool("hist", false, "print a latency histogram and percentiles")
+		vct       = flag.Bool("vct", false, "virtual cut-through switching [KK79] instead of store-and-forward")
+		maxCyc    = flag.Int64("maxcycles", 10_000_000, "static model: abort after this many cycles")
+		faults    = flag.String("faults", "", "fault schedule, e.g. 'link:0:1@50,node:3@100+200,links:0.05@0' (packet engines only)")
+		killLinks = flag.Float64("kill-links", 0, "kill this fraction of links at cycle 0 (seeded; shorthand for -faults links:<p>@0)")
+		hopBudget = flag.Int("hop-budget", 0, "extra hops a fault-misrouted packet may take before being dropped (0 = default)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics   = flag.String("metrics", "", "write metric snapshots as JSON lines to this file ('-' for stdout)")
+		mEvery    = flag.Int64("metrics-every", 100, "sampling period of -metrics, in cycles")
+		httpAddr  = flag.String("http", "", "serve Prometheus /metrics and /debug/pprof on this address during the run, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -108,6 +112,22 @@ func main() {
 	}
 	cfg.CutThrough = *vct
 
+	faultSpec := *faults
+	if *killLinks > 0 {
+		spec := fmt.Sprintf("links:%g@0", *killLinks)
+		if faultSpec != "" {
+			faultSpec += "," + spec
+		} else {
+			faultSpec = spec
+		}
+	}
+	if faultSpec != "" {
+		plan, err := repro.ParseFaultSpec(faultSpec)
+		fatal(err)
+		cfg.Faults = plan
+		cfg.HopBudget = *hopBudget
+	}
+
 	// Observability: compose the requested observers; -http additionally
 	// enables the metrics core so the endpoint has something to serve.
 	var observers []repro.Observer
@@ -146,28 +166,11 @@ func main() {
 	}
 
 	// Build the engine up front so -http can expose its live metrics core.
-	var (
-		runFn       func(context.Context, repro.TrafficSource, repro.Plan) (repro.RunResult, error)
-		promHandler http.Handler
-	)
-	if *engine == "atomic" {
-		e, err := repro.NewAtomicEngine(cfg)
-		fatal(err)
-		runFn = e.Run
-		if core := e.Obs(); core != nil {
-			promHandler = core.Handler()
-		}
-	} else {
-		e, err := repro.NewEngine(cfg)
-		fatal(err)
-		runFn = e.Run
-		if core := e.Obs(); core != nil {
-			promHandler = core.Handler()
-		}
-	}
+	sim, err := repro.NewSimulator(*engine, cfg)
+	fatal(err)
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", promHandler)
+		mux.Handle("/metrics", sim.Obs().Handler())
 		mux.HandleFunc("/debug/pprof/", httppprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -195,8 +198,11 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	res, err := runFn(ctx, src, plan)
+	res, err := sim.Run(ctx, src, plan)
 	if !res.Canceled {
+		if derr := (*repro.ErrDeadlock)(nil); errors.As(err, &derr) && derr.Dump != nil {
+			fmt.Fprintln(os.Stderr, derr.Dump)
+		}
 		fatal(err)
 	}
 	m := res.Metrics
@@ -215,7 +221,11 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("cycles    : %d  [%s]\n", m.Cycles, elapsed)
-	fmt.Printf("packets   : injected=%d delivered=%d in-flight=%d\n", m.Injected, m.Delivered, m.InFlight)
+	fmt.Printf("packets   : injected=%d delivered=%d in-flight=%d", m.Injected, m.Delivered, m.InFlight)
+	if faultSpec != "" {
+		fmt.Printf(" dropped=%d (faults: %s)", m.Dropped, faultSpec)
+	}
+	fmt.Println()
 	fmt.Printf("latency   : avg=%.2f max=%d (over %d measured deliveries)\n", m.AvgLatency(), m.LatencyMax, m.Measured)
 	if m.Attempts > 0 {
 		fmt.Printf("inj. rate : %.1f%% (%d/%d attempts)\n", 100*m.InjectionRate(), m.Successes, m.Attempts)

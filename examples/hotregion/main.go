@@ -25,6 +25,26 @@ import (
 
 const dims = 9
 
+// qaProbe is an Observer that samples every q_A queue at the end of each
+// cycle, accumulating occupancy by the Hamming level of the node. OnCycle
+// runs outside the engine's parallel phases, so inspecting the engine
+// through Snapshot is safe.
+type qaProbe struct {
+	repro.ObserverBase
+	eng     *repro.Engine
+	sum     []float64
+	samples int
+}
+
+func (p *qaProbe) OnCycle(cycle int64, _ *repro.MetricSnapshot) {
+	p.samples++
+	p.eng.Snapshot(func(q repro.QueueSnapshot) {
+		if q.Class == 0 { // q_A
+			p.sum[bits.OnesCount32(uint32(q.Node))] += float64(q.Len)
+		}
+	})
+}
+
 // profile runs the workload and returns the time-averaged q_A occupancy per
 // node level plus the drain time.
 func profile(spec string) ([]float64, int64) {
@@ -32,26 +52,18 @@ func profile(spec string) ([]float64, int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sum := make([]float64, dims+1)     // occupancy accumulated per level
 	nodesAt := make([]float64, dims+1) // nodes per level
 	for u := 0; u < 1<<dims; u++ {
 		nodesAt[bits.OnesCount32(uint32(u))]++
 	}
-	samples := 0
-	var eng *repro.Engine
-	cfg := repro.Config{Algorithm: algo, Seed: 17}
-	cfg.OnCycle = func(cycle int64) {
-		samples++
-		eng.Snapshot(func(q repro.QueueSnapshot) {
-			if q.Class == 0 { // q_A
-				sum[bits.OnesCount32(uint32(q.Node))] += float64(q.Len)
-			}
-		})
-	}
-	eng, err = repro.NewEngine(cfg)
+	probe := &qaProbe{sum: make([]float64, dims+1)}
+	eng, err := repro.NewEngineOpts(algo,
+		repro.WithSeed(17),
+		repro.WithObserver(probe))
 	if err != nil {
 		log.Fatal(err)
 	}
+	probe.eng = eng
 	pat, err := repro.NewPattern("complement", algo, 5)
 	if err != nil {
 		log.Fatal(err)
@@ -62,7 +74,7 @@ func profile(spec string) ([]float64, int64) {
 	}
 	avg := make([]float64, dims+1)
 	for l := range avg {
-		avg[l] = sum[l] / float64(samples) / nodesAt[l]
+		avg[l] = probe.sum[l] / float64(probe.samples) / nodesAt[l]
 	}
 	return avg, m.Cycles
 }

@@ -79,6 +79,9 @@ type Options struct {
 	// Algorithm overrides the fully-adaptive scheme for ablations:
 	// "adaptive" (default), "hung", "ecube".
 	Algorithm string
+	// Engine selects the simulation model: "buffered" (default, the paper's
+	// node model) or "atomic" (the Section 2 reference model).
+	Engine string
 }
 
 func (o *Options) fill() {
@@ -227,27 +230,28 @@ func (ex Experiment) Run(dims int, opt Options) (Row, error) {
 		Seed:      opt.Seed,
 		Workers:   opt.Workers,
 	}
-	eng, err := sim.NewEngine(cfg)
+	eng, err := sim.NewSimulator(opt.Engine, cfg)
 	if err != nil {
 		return Row{}, err
 	}
-	var m sim.Metrics
+	var src sim.TrafficSource
+	plan := sim.StaticPlan(10_000_000)
 	switch ex.Injection {
 	case Static1:
-		src := traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
-		m, err = eng.RunStatic(src, 10_000_000)
+		src = traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
 	case StaticN:
-		src := traffic.NewStaticSource(pat, nodes, dims, opt.Seed+2)
-		m, err = eng.RunStatic(src, 10_000_000)
+		src = traffic.NewStaticSource(pat, nodes, dims, opt.Seed+2)
 	case Dynamic:
-		src := traffic.NewBernoulliSource(pat, nodes, 1.0, opt.Seed+2)
-		m, err = eng.RunDynamic(src, opt.Warmup, opt.Measure)
+		src = traffic.NewBernoulliSource(pat, nodes, 1.0, opt.Seed+2)
+		plan = sim.DynamicPlan(opt.Warmup, opt.Measure)
 	default:
 		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}
+	res, err := eng.Run(nil, src, plan)
 	if err != nil {
 		return Row{}, err
 	}
+	m := res.Metrics
 	return Row{
 		Dims:      dims,
 		Nodes:     nodes,

@@ -91,12 +91,15 @@ func (r *EngineBenchResult) ObsOverheadPct() float64 {
 
 // EngineBenchRun is one labeled sweep (one revision of the engine).
 type EngineBenchRun struct {
-	Label      string              `json:"label"`
-	Date       string              `json:"date"`
-	NumCPU     int                 `json:"num_cpu"`
-	GoMaxProcs int                 `json:"gomaxprocs"`
-	GoVersion  string              `json:"go_version"`
-	Results    []EngineBenchResult `json:"results"`
+	Label      string `json:"label"`
+	Date       string `json:"date"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// Note carries free-form context for cross-run comparisons (e.g. "host
+	// slower than previous runs; compare against a same-day baseline").
+	Note    string              `json:"note,omitempty"`
+	Results []EngineBenchResult `json:"results"`
 }
 
 // EngineBenchFile is the trajectory artifact: one run appended per revision
@@ -140,7 +143,7 @@ func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResul
 	nodes := 1 << dims
 	best := EngineBenchResult{Dims: dims, Nodes: nodes, Workers: workers}
 	for _, withObs := range []bool{false, true} {
-		eng, err := sim.NewEngine(sim.Config{
+		eng, err := sim.NewSimulator("buffered", sim.Config{
 			Algorithm: core.NewHypercubeAdaptive(dims),
 			Seed:      cfg.Seed,
 			Workers:   workers,
@@ -152,10 +155,11 @@ func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResul
 		for rep := 0; rep < cfg.Repeat; rep++ {
 			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, cfg.Seed+2)
 			start := time.Now()
-			m, err := eng.RunDynamic(src, cfg.Warmup, cfg.Measure)
+			res, err := eng.Run(nil, src, sim.DynamicPlan(cfg.Warmup, cfg.Measure))
 			if err != nil {
 				return EngineBenchResult{}, err
 			}
+			m := res.Metrics
 			el := time.Since(start).Seconds()
 			if withObs {
 				if cps := float64(m.Cycles) / el; rep == 0 || cps > best.CyclesPerSecObs {

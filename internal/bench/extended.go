@@ -110,7 +110,7 @@ func (ex Extended) Run(size int, opt Options) (Row, error) {
 	algo := ex.Algo(size)
 	pat := ex.Pattern(algo, size, opt.Seed+1)
 	nodes := algo.Topology().Nodes()
-	eng, err := sim.NewEngine(sim.Config{
+	eng, err := sim.NewSimulator(opt.Engine, sim.Config{
 		Algorithm: algo,
 		QueueCap:  opt.QueueCap,
 		Policy:    opt.Policy,
@@ -120,27 +120,28 @@ func (ex Extended) Run(size int, opt Options) (Row, error) {
 	if err != nil {
 		return Row{}, err
 	}
-	var m sim.Metrics
+	var src sim.TrafficSource
+	plan := sim.StaticPlan(10_000_000)
 	switch ex.Injection {
 	case Static1:
-		src := traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
-		m, err = eng.RunStatic(src, 10_000_000)
+		src = traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
 	case StaticN:
 		per := size
 		if ex.PerNode != nil {
 			per = ex.PerNode(size)
 		}
-		src := traffic.NewStaticSource(pat, nodes, per, opt.Seed+2)
-		m, err = eng.RunStatic(src, 10_000_000)
+		src = traffic.NewStaticSource(pat, nodes, per, opt.Seed+2)
 	case Dynamic:
-		src := traffic.NewBernoulliSource(pat, nodes, ex.Lambda, opt.Seed+2)
-		m, err = eng.RunDynamic(src, opt.Warmup, opt.Measure)
+		src = traffic.NewBernoulliSource(pat, nodes, ex.Lambda, opt.Seed+2)
+		plan = sim.DynamicPlan(opt.Warmup, opt.Measure)
 	default:
 		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}
+	res, err := eng.Run(nil, src, plan)
 	if err != nil {
 		return Row{}, err
 	}
+	m := res.Metrics
 	return Row{
 		Dims:      size,
 		Nodes:     nodes,

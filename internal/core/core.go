@@ -185,6 +185,21 @@ type Packet struct {
 	Work       uint32     // algorithm scratch state
 }
 
+// HopsMisrouted is the misroute flag, stored in the top bit of Packet.Hops
+// rather than a new field so the struct stays 32 bytes. Set once a packet
+// has been detoured off a minimal path by fault-degraded routing; such
+// packets are exempt from the minimality and MaxHops delivery asserts.
+const HopsMisrouted uint16 = 1 << 15
+
+// HopCount returns the number of link traversals, excluding the flag bit.
+func (p *Packet) HopCount() int { return int(p.Hops &^ HopsMisrouted) }
+
+// Misrouted reports whether the packet ever left a minimal path.
+func (p *Packet) Misrouted() bool { return p.Hops&HopsMisrouted != 0 }
+
+// MarkMisrouted sets the misroute flag.
+func (p *Packet) MarkMisrouted() { p.Hops |= HopsMisrouted }
+
 // BufferClassOf maps a move to the link buffer it travels through in the
 // buffered node model of Section 6: static transitions use the buffer
 // associated with their target queue, dynamic transitions share the

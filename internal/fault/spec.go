@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the textual fault grammar used by the routesim -faults
+// flag. A spec is a comma-separated list of items:
+//
+//	link:U:P@AT[+DUR]        link out of node U port P dies at cycle AT
+//	node:U@AT[+DUR]          node U dies at cycle AT
+//	links:FRAC[:SEED]@AT[+DUR]  a seeded random fraction of all links dies
+//	nodes:FRAC[:SEED]@AT[+DUR]  a seeded random fraction of all nodes dies
+//
+// The optional +DUR suffix schedules recovery after DUR cycles; without it
+// the failure is permanent. SEED defaults to 1.
+//
+// Examples:
+//
+//	link:0:3@100          link 0->port3 (and its reverse) dies at cycle 100
+//	node:42@0+500         node 42 is down for cycles [0,500)
+//	links:0.05:7@0        5% of links, seed 7, dead from the start
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, raw := range strings.Split(spec, ",") {
+		itemSpec := strings.TrimSpace(raw)
+		if itemSpec == "" {
+			continue
+		}
+		head, timing, ok := strings.Cut(itemSpec, "@")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q: missing @AT timing", itemSpec)
+		}
+		at, dur, err := parseTiming(timing)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %q: %w", itemSpec, err)
+		}
+		fields := strings.Split(head, ":")
+		switch fields[0] {
+		case "link":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("fault: %q: want link:U:P", itemSpec)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			port, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("fault: %q: non-integer node or port", itemSpec)
+			}
+			p.FailLink(u, port, at, dur)
+		case "node":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: %q: want node:U", itemSpec)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("fault: %q: non-integer node", itemSpec)
+			}
+			p.FailNode(u, at, dur)
+		case "links", "nodes":
+			if len(fields) != 2 && len(fields) != 3 {
+				return nil, fmt.Errorf("fault: %q: want %s:FRAC[:SEED]", itemSpec, fields[0])
+			}
+			frac, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: %q: bad fraction %q", itemSpec, fields[1])
+			}
+			seed := int64(1)
+			if len(fields) == 3 {
+				seed, err = strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: %q: bad seed %q", itemSpec, fields[2])
+				}
+			}
+			if fields[0] == "links" {
+				p.FailRandomLinks(frac, seed, at, dur)
+			} else {
+				p.FailRandomNodes(frac, seed, at, dur)
+			}
+		default:
+			return nil, fmt.Errorf("fault: %q: unknown item kind %q (valid: link, node, links, nodes)", itemSpec, fields[0])
+		}
+	}
+	return p, nil
+}
+
+func parseTiming(s string) (at, dur int64, err error) {
+	dur = Forever
+	atStr, durStr, hasDur := strings.Cut(s, "+")
+	at, err = strconv.ParseInt(atStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad fail cycle %q", atStr)
+	}
+	if hasDur {
+		dur, err = strconv.ParseInt(durStr, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad duration %q", durStr)
+		}
+	}
+	return at, dur, nil
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpLimit caps the number of wait-for entries a DeadlockDump carries, so a
+// jammed 16K-node network does not produce a megabyte-scale error value.
+const DumpLimit = 128
+
+// WaitTarget is one output a blocked packet is waiting on.
+type WaitTarget struct {
+	Node    int32 // neighbor the full output buffer leads to
+	Port    int16 // output port of the blocked packet's node
+	Class   uint8 // buffer class (NumClasses = the shared dynamic buffer)
+	Dynamic bool  // the wait is through the shared dynamic buffer
+	Dead    bool  // the link or its endpoint is currently dead
+}
+
+// WaitFor describes one blocked head packet: where it sits and which output
+// buffers it is waiting to find free.
+type WaitFor struct {
+	Node     int32 // node holding the packet
+	Class    uint8 // central queue class it occupies
+	QueueLen int   // occupancy of that queue
+	PacketID int64
+	Dst      int32
+	WaitsOn  []WaitTarget
+}
+
+// DeadlockDump is the wait-for state captured when the deadlock watchdog
+// fires: one entry per blocked queue head, capped at DumpLimit entries.
+type DeadlockDump struct {
+	Cycle     int64 // cycle at which the watchdog fired
+	Window    int64 // configured no-progress window
+	InFlight  int64 // packets stuck in the network
+	Waits     []WaitFor
+	Truncated bool // true when more than DumpLimit heads were blocked
+}
+
+// String renders the dump compactly, one blocked head per line.
+func (d *DeadlockDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock dump @cycle %d (window %d, %d in flight, %d blocked heads",
+		d.Cycle, d.Window, d.InFlight, len(d.Waits))
+	if d.Truncated {
+		b.WriteString("+")
+	}
+	b.WriteString("):\n")
+	for _, w := range d.Waits {
+		fmt.Fprintf(&b, "  node %d q%d len=%d pkt %d -> %d waits on", w.Node, w.Class, w.QueueLen, w.PacketID, w.Dst)
+		for _, t := range w.WaitsOn {
+			kind := "s"
+			if t.Dynamic {
+				kind = "d"
+			}
+			dead := ""
+			if t.Dead {
+				dead = " DEAD"
+			}
+			fmt.Fprintf(&b, " [p%d->%d c%d %s%s]", t.Port, t.Node, t.Class, kind, dead)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DeadlockObserver is an optional extension of Observer: implementations
+// receive the wait-for dump when the engine's deadlock watchdog fires. The
+// engine discovers it by type assertion, so plain observers need not change.
+type DeadlockObserver interface {
+	Observer
+	OnDeadlock(dump *DeadlockDump)
+}

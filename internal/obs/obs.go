@@ -64,6 +64,16 @@ const (
 	// CCutThrough counts packets forwarded input-buffer to output-buffer
 	// without being stored in a central queue (virtual cut-through).
 	CCutThrough
+	// CMisrouted counts non-minimal moves taken because faults emptied the
+	// packet's minimal candidate set (fault-degraded routing).
+	CMisrouted
+	// CFaultDrops counts packets dropped by fault handling: caught in a dead
+	// node or link buffer, out of misroute hop budget, or unroutable at
+	// injection.
+	CFaultDrops
+	// CInjRetries counts injections deferred by retry-with-backoff because
+	// the node's queue pool was saturated under faults.
+	CInjRetries
 
 	NumCounters
 )
@@ -72,6 +82,7 @@ var counterNames = [NumCounters]string{
 	"inj_attempts", "inj_backpressure", "injected", "delivered",
 	"moves", "dynamic_moves", "link_transfers", "output_stalls",
 	"wait_parked", "mail_posts", "cutthrough_moves",
+	"misrouted", "fault_drops", "inj_retries",
 }
 
 // String returns the counter's snake_case metric name.
@@ -93,12 +104,17 @@ const (
 	// GLiveNodes is the number of nodes on the engine's active worklist.
 	// Like CMailPosts it depends on the worker count; see Canonical.
 	GLiveNodes
+	// GDeadLinks is the number of currently dead directed links.
+	GDeadLinks
+	// GDeadNodes is the number of currently dead nodes.
+	GDeadNodes
 
 	NumGauges
 )
 
 var gaugeNames = [NumGauges]string{
 	"queue_occupancy", "in_flight", "max_queue", "live_nodes",
+	"dead_links", "dead_nodes",
 }
 
 // String returns the gauge's snake_case metric name.
@@ -115,11 +131,14 @@ const (
 	// HQueueLen is the central-queue occupancy observed at each push: how
 	// full queues run, the signal behind the paper's queue-size study.
 	HQueueLen
+	// HDropAge is the per-packet age (cycles since network entry) at the
+	// moment fault handling dropped it.
+	HDropAge
 
 	NumHists
 )
 
-var histNames = [NumHists]string{"latency", "queue_len"}
+var histNames = [NumHists]string{"latency", "queue_len", "drop_age"}
 
 // String returns the histogram's snake_case metric name.
 func (h HistID) String() string { return histNames[h] }

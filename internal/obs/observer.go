@@ -76,6 +76,16 @@ func (m MultiObserver) OnDone(snap *Snapshot) {
 	}
 }
 
+// OnDeadlock forwards the watchdog dump to every member that implements
+// DeadlockObserver, making MultiObserver itself a DeadlockObserver.
+func (m MultiObserver) OnDeadlock(dump *DeadlockDump) {
+	for _, o := range m {
+		if d, ok := o.(DeadlockObserver); ok {
+			d.OnDeadlock(dump)
+		}
+	}
+}
+
 // Latency is the latency-collection observer: it absorbs stats.Collector
 // (streaming mean/variance, exact percentiles, histograms) behind the
 // Observer interface. Safe for concurrent delivery under Workers > 1.

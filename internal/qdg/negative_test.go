@@ -1,6 +1,7 @@
 package qdg
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -150,5 +151,46 @@ func TestVerifierRejectsTrapDoor(t *testing.T) {
 	}
 	if err := g.CheckStaticProgress(); err == nil {
 		t.Error("CheckStaticProgress accepted a scheme whose dynamic states never deliver")
+	}
+}
+
+// TestCycleErrorReportsPath pins the diagnostic contract: a rejected QDG
+// yields a *CycleError whose Path is a genuine cycle in the static graph —
+// consecutive queues on adjacent nodes, closing back on the first — with a
+// matching human-readable rendering.
+func TestCycleErrorReportsPath(t *testing.T) {
+	torus := topology.NewTorus(5)
+	g, err := Build(&cyclicStatic{torus: torus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ce *CycleError
+	if err := g.CheckStaticAcyclic(); !errors.As(err, &ce) {
+		t.Fatalf("CheckStaticAcyclic returned %T %v, want *CycleError", err, err)
+	}
+	if ce.Algorithm != "broken-cyclic-static" || ce.Reason == "" {
+		t.Errorf("bad error header: %+v", ce)
+	}
+	if len(ce.Path) < 2 || len(ce.PathNames) != len(ce.Path) {
+		t.Fatalf("path not populated: %+v", ce)
+	}
+	// The ring routes +1 in dimension 0; every consecutive pair (wrapping)
+	// must be that physical step.
+	for i, q := range ce.Path {
+		next := ce.Path[(i+1)%len(ce.Path)]
+		if int(next.Node) != torus.Neighbor(int(q.Node), 0) {
+			t.Errorf("path step %d: %d -> %d is not a ring edge", i, q.Node, next.Node)
+		}
+	}
+	if !strings.Contains(ce.Error(), " -> ") {
+		t.Errorf("rendered error lacks the path: %s", ce.Error())
+	}
+
+	var ce2 *CycleError
+	if err := g.CheckStaticStructure(); !errors.As(err, &ce2) {
+		t.Fatalf("CheckStaticStructure returned no *CycleError")
+	}
+	if len(ce2.Path) == 0 {
+		t.Errorf("structure check reported no path: %+v", ce2)
 	}
 }

@@ -21,6 +21,7 @@ package qdg
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 )
@@ -142,15 +143,43 @@ func (g *Graph) touch(q Queue) {
 	}
 }
 
+// CycleError reports a cycle in the queue dependency graph that the
+// certification could not discharge. Path is the offending cycle as a queue
+// sequence (the first vertex repeats implicitly); PathNames renders it with
+// the algorithm's class names, node by node.
+type CycleError struct {
+	Algorithm string
+	Reason    string // why the cycle is fatal
+	Path      []Queue
+	PathNames []string
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("qdg: %s: %s: %s", e.Algorithm, e.Reason, strings.Join(e.PathNames, " -> "))
+}
+
+// cycleError builds a CycleError with the path rendered.
+func (g *Graph) cycleError(reason string, path []Queue) *CycleError {
+	names := make([]string, len(path))
+	for i, q := range path {
+		names[i] = g.QueueName(q)
+	}
+	return &CycleError{
+		Algorithm: g.Algo.Name(), Reason: reason,
+		Path: append([]Queue(nil), path...), PathNames: names,
+	}
+}
+
 // CheckStaticAcyclic verifies that the static edges (guarded ones included)
 // form a DAG. Algorithms relying on bubble rings fail this check and must
-// pass CheckStaticStructure instead; pure DAG schemes pass both.
+// pass CheckStaticStructure instead; pure DAG schemes pass both. A detected
+// cycle is reported as a *CycleError carrying the queue path.
 func (g *Graph) CheckStaticAcyclic() error {
 	cycle := findCycle(g.Queues, g.allStatic())
 	if cycle == nil {
 		return nil
 	}
-	return fmt.Errorf("qdg: %s: static QDG has a cycle: %s", g.Algo.Name(), g.formatPath(cycle))
+	return g.cycleError("static QDG has a cycle", cycle)
 }
 
 func (g *Graph) allStatic() map[Edge]bool {
@@ -195,14 +224,24 @@ func (g *Graph) CheckStaticStructure() error {
 		for _, q := range comp {
 			member[q] = true
 		}
+		// Every nontrivial SCC contains a cycle; extract one so failed
+		// certifications report the offending queue path, not just the
+		// violated condition.
+		inner := make(map[Edge]bool)
+		for e := range static {
+			if member[e.From] && member[e.To] {
+				inner[e] = true
+			}
+		}
+		cyc := findCycle(comp, inner)
 		class := comp[0].Class
 		for _, q := range comp {
 			if q.Class != class {
-				return fmt.Errorf("qdg: %s: static SCC mixes classes (%s vs %s)",
-					g.Algo.Name(), g.QueueName(comp[0]), g.QueueName(q))
+				return g.cycleError(fmt.Sprintf("static cycle mixes classes (%s vs %s)",
+					g.QueueName(comp[0]), g.QueueName(q)), cyc)
 			}
 			if g.Inject[q] {
-				return fmt.Errorf("qdg: %s: injection lands inside bubble ring at %s", g.Algo.Name(), g.QueueName(q))
+				return g.cycleError(fmt.Sprintf("injection lands inside bubble ring at %s", g.QueueName(q)), cyc)
 			}
 			out := 0
 			for e := range static {
@@ -211,18 +250,18 @@ func (g *Graph) CheckStaticStructure() error {
 				}
 			}
 			if out != 1 {
-				return fmt.Errorf("qdg: %s: static SCC is not a simple ring: %s has %d internal edges",
-					g.Algo.Name(), g.QueueName(q), out)
+				return g.cycleError(fmt.Sprintf("static cycle is not a certified bubble ring: %s has %d internal edges",
+					g.QueueName(q), out), cyc)
 			}
 		}
 		for e := range g.Static { // unguarded entries into the ring are fatal
 			if !member[e.From] && member[e.To] {
-				return fmt.Errorf("qdg: %s: unguarded entry %s into bubble ring", g.Algo.Name(), g.formatEdge(e))
+				return g.cycleError(fmt.Sprintf("unguarded entry %s into bubble ring", g.formatEdge(e)), cyc)
 			}
 		}
 		for e := range g.Dynamic {
 			if !member[e.From] && member[e.To] {
-				return fmt.Errorf("qdg: %s: dynamic entry %s into bubble ring", g.Algo.Name(), g.formatEdge(e))
+				return g.cycleError(fmt.Sprintf("dynamic entry %s into bubble ring", g.formatEdge(e)), cyc)
 			}
 		}
 	}

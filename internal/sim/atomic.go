@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -35,6 +36,32 @@ type AtomicEngine struct {
 	nextID []int64
 	active []bool
 	headID []int64 // per-queue head snapshot: one move per packet per cycle
+
+	// flt is the fault-injection machinery; nil without Config.Faults.
+	flt *faultState
+
+	rs atomicRunState
+}
+
+// atomicRunState is the control state of the atomic engine's stepwise run;
+// see runState for the buffered engine's equivalent.
+type atomicRunState struct {
+	src       TrafficSource
+	win       runWindow
+	stopAt    int64
+	maxCycles int64
+	drain     bool
+	idle      int
+	m         Metrics
+	st        cycleStats
+	cand      [64]core.Move
+	adm       [64]int
+	chooser   Engine // borrows (*Engine).choose for policy selection
+
+	active bool
+	done   bool
+	res    RunResult
+	err    error
 }
 
 // NewAtomicEngine builds an atomic engine for the configuration. Workers is
@@ -61,6 +88,16 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 	e.nextID = make([]int64, e.nodes)
 	e.active = make([]bool, e.nodes)
 	e.headID = make([]int64, len(e.queues))
+	if !cfg.Faults.Empty() {
+		if t.Ports() > 32 {
+			return nil, fmt.Errorf("sim: fault injection supports at most 32 ports per node, %s has %d", t.Name(), t.Ports())
+		}
+		sched, err := cfg.Faults.Compile(t)
+		if err != nil {
+			return nil, err
+		}
+		e.flt = newFaultState(t, sched, cfg.HopBudget)
+	}
 	e.initObs(&cfg)
 	e.reset()
 	return e, nil
@@ -75,6 +112,9 @@ func (e *AtomicEngine) reset() {
 		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
 		e.nextID[u] = int64(u) << 36
 		e.active[u] = true
+	}
+	if e.flt != nil {
+		e.flt.reset()
 	}
 	if e.obsOn {
 		e.obsCore.Reset()
@@ -97,223 +137,447 @@ func (e *AtomicEngine) RunDynamic(src TrafficSource, warmup, measure int64) (Met
 	return res.Metrics, err
 }
 
-func (e *AtomicEngine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
+// Start begins a stepwise run; see (*Engine).Start.
+func (e *AtomicEngine) Start(src TrafficSource, plan Plan) {
+	win, stopAt, maxCycles, drain := plan.params()
+	e.start(src, win, stopAt, maxCycles, drain)
+}
+
+func (e *AtomicEngine) start(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) {
 	e.reset()
-	var m Metrics
-	var st cycleStats
-	var cand [64]core.Move
-	var adm [64]int
-	idle := 0
-	eng := Engine{cfg: e.cfg} // borrow choose()
+	e.rs = atomicRunState{
+		src: src, win: win, stopAt: stopAt, maxCycles: maxCycles, drain: drain,
+		active:  true,
+		chooser: Engine{cfg: e.cfg},
+	}
+}
 
-	for cycle := int64(0); ; cycle++ {
+func (e *AtomicEngine) end(wasCanceled bool, err error) {
+	rs := &e.rs
+	rs.res = e.finish(rs.m, wasCanceled)
+	rs.err = err
+	rs.done = true
+	rs.src = nil
+}
+
+// Result returns the outcome of the run once Step reported done; see
+// (*Engine).Result.
+func (e *AtomicEngine) Result() (RunResult, error) { return e.rs.res, e.rs.err }
+
+// Metrics returns the aggregate metrics of the current stepwise run.
+func (e *AtomicEngine) Metrics() Metrics { return e.rs.m }
+
+func (e *AtomicEngine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
+	e.start(src, win, stopAt, maxCycles, drain)
+	for {
 		if canceled(ctx) {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, true), ctx.Err()
+			e.end(true, ctx.Err())
+			return e.rs.res, e.rs.err
 		}
-		if stopAt > 0 && cycle >= stopAt {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, false), nil
+		if done, _ := e.Step(); done {
+			return e.rs.res, e.rs.err
 		}
-		if maxCycles > 0 && cycle > maxCycles {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, false), fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
-				e.algo.Name(), maxCycles, m.InFlight)
-		}
-		prevMoves := m.Moves
+	}
+}
 
-		// Injection attempts.
-		for u := int32(0); int(u) < e.nodes; u++ {
-			if !e.active[u] {
+// Step simulates one cycle of the started plan; see (*Engine).Step.
+func (e *AtomicEngine) Step() (done bool, err error) {
+	rs := &e.rs
+	if !rs.active {
+		panic("sim: Step called before Start")
+	}
+	if rs.done {
+		return true, rs.err
+	}
+	m := &rs.m
+	cycle := m.Cycles
+	if rs.stopAt > 0 && cycle >= rs.stopAt {
+		e.end(false, nil)
+		return true, rs.err
+	}
+	if rs.maxCycles > 0 && cycle > rs.maxCycles {
+		e.end(false, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+			e.algo.Name(), rs.maxCycles, m.InFlight))
+		return true, rs.err
+	}
+	prevMoves := m.Moves
+	st := &rs.st
+	src, win := rs.src, rs.win
+	f := e.flt
+	if f != nil {
+		e.applyFaultsAtomic(cycle, st)
+	}
+
+	// Injection attempts.
+	for u := int32(0); int(u) < e.nodes; u++ {
+		if !e.active[u] {
+			continue
+		}
+		if src.Exhausted(u) {
+			e.active[u] = false
+			continue
+		}
+		if f != nil {
+			if !f.live.NodeAlive(int(u)) {
 				continue
 			}
-			if src.Exhausted(u) {
-				e.active[u] = false
-				continue
-			}
-			if !src.Wants(u, cycle) {
-				continue
-			}
-			if win.contains(cycle) {
-				st.attempts++
-			}
-			if e.obsOn {
-				st.obs.Inc(obs.CInjAttempts)
-			}
-			if e.injQ[u].full {
+			if cycle < f.injNext[u] {
 				if e.obsOn {
-					st.obs.Inc(obs.CInjBackpressure)
+					st.obs.Inc(obs.CInjRetries)
 				}
 				continue
 			}
-			dst := src.Take(u, cycle)
-			class, work := e.algo.Inject(u, dst)
-			e.nextID[u]++
-			e.injQ[u] = injSlot{
-				pkt: core.Packet{
-					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
-					Class: class, MinFree: 1, Work: work,
-				},
-				full: true,
+		}
+		if !src.Wants(u, cycle) {
+			continue
+		}
+		if win.contains(cycle) {
+			st.attempts++
+		}
+		if e.obsOn {
+			st.obs.Inc(obs.CInjAttempts)
+		}
+		if e.injQ[u].full {
+			if e.obsOn {
+				st.obs.Inc(obs.CInjBackpressure)
 			}
-			st.injected++
-			if win.contains(cycle) {
-				st.successes++
+			if f != nil {
+				f.backoff(u, cycle)
+			}
+			continue
+		}
+		dst := src.Take(u, cycle)
+		if f != nil {
+			f.injFail[u] = 0
+			if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
+				e.nextID[u]++
+				st.injected++
+				if win.contains(cycle) {
+					st.successes++
+				}
+				pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
+				e.dropAtomic(&pkt, cycle, st)
+				continue
 			}
 		}
+		class, work := e.algo.Inject(u, dst)
+		e.nextID[u]++
+		e.injQ[u] = injSlot{
+			pkt: core.Packet{
+				ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+				Class: class, MinFree: 1, Work: work,
+			},
+			full: true,
+		}
+		st.injected++
+		if win.contains(cycle) {
+			st.successes++
+		}
+	}
 
-		// Snapshot the head of every queue: a packet may advance at most
-		// once per cycle, even if it lands in a queue processed later.
-		for i, q := range e.queues {
-			if q.Empty() {
-				e.headID[i] = 0
+	// Snapshot the head of every queue: a packet may advance at most
+	// once per cycle, even if it lands in a queue processed later.
+	for i, q := range e.queues {
+		if q.Empty() {
+			e.headID[i] = 0
+		} else {
+			e.headID[i] = q.At(0).ID
+		}
+	}
+
+	// Drain injection queues into central queues (one hop of the model).
+	for u := int32(0); int(u) < e.nodes; u++ {
+		sl := &e.injQ[u]
+		if !sl.full {
+			continue
+		}
+		if sl.pkt.Dst == u {
+			e.deliverAtomic(sl.pkt, cycle, win, st)
+			sl.full = false
+			continue
+		}
+		q := e.queueAt(u, sl.pkt.Class)
+		if q.Free() >= 1 {
+			sl.pkt.InjectedAt = cycle // latency runs from network entry
+			q.Push(sl.pkt)
+			if l := q.Len(); l > st.maxQueue {
+				st.maxQueue = l
+			}
+			if e.obsOn {
+				st.obs.GaugeAdd(obs.GQueueOccupancy, 1)
+				st.obs.Observe(obs.HQueueLen, int64(q.Len()))
+			}
+			sl.full = false
+			st.moves++
+		}
+	}
+
+	// Route(q) for every queue: advance the head packet if possible.
+	for u := int32(0); int(u) < e.nodes; u++ {
+		r := &e.rngs[u]
+		for c := 0; c < e.classes; c++ {
+			qi := int(u)*e.classes + c
+			q := e.queues[qi]
+			if q.Empty() || q.At(0).ID != e.headID[qi] {
+				continue
+			}
+			pkt := q.At(0)
+			moves := e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, rs.cand[:0])
+			if f != nil {
+				moves = f.filterLiveMoves(u, moves)
+				if len(moves) == 0 {
+					// Faults removed every candidate: misroute or drop.
+					e.misrouteAtomic(u, qi, cycle, st)
+					continue
+				}
+			}
+			nAdm := 0
+			for i := range moves {
+				if e.admissible(u, core.QueueClass(c), moves[i]) {
+					rs.adm[nAdm] = i
+					nAdm++
+				}
+			}
+			if nAdm == 0 {
+				if e.obsOn {
+					st.obs.Inc(obs.COutputStalls)
+				}
+				continue
+			}
+			var mv core.Move
+			if f != nil && nAdm > 1 && pkt.Misrouted() &&
+				(e.cfg.Policy == PolicyFirstFree || e.cfg.Policy == PolicyLastFree) {
+				// Positional policies would deterministically walk a
+				// fault-displaced packet back into the dead minimal cut;
+				// hash the pick instead (see Engine.misroute).
+				mv = moves[rs.adm[int(misrouteHash(cycle, pkt.ID, pkt.HopCount())%uint32(nAdm))]]
 			} else {
-				e.headID[i] = q.At(0).ID
+				mv = moves[rs.chooser.choose(r, moves, rs.adm[:nAdm])]
 			}
-		}
-
-		// Drain injection queues into central queues (one hop of the model).
-		for u := int32(0); int(u) < e.nodes; u++ {
-			sl := &e.injQ[u]
-			if !sl.full {
-				continue
-			}
-			if sl.pkt.Dst == u {
-				e.deliverAtomic(sl.pkt, cycle, win, &st)
-				sl.full = false
-				continue
-			}
-			q := e.queueAt(u, sl.pkt.Class)
-			if q.Free() >= 1 {
-				sl.pkt.InjectedAt = cycle // latency runs from network entry
-				q.Push(sl.pkt)
-				if l := q.Len(); l > st.maxQueue {
+			switch {
+			case mv.Deliver:
+				pkt, _ = q.Pop()
+				if e.obsOn {
+					st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
+				}
+				e.deliverAtomic(pkt, cycle, win, st)
+			case mv.Node == u && mv.Class == core.QueueClass(c) && mv.Port == core.PortInternal:
+				pkt.Work = mv.Work
+				q.Set(0, pkt)
+				st.moves++
+			default:
+				pkt, _ = q.Pop()
+				if mv.Port != core.PortInternal {
+					pkt.Hops++
+				}
+				pkt.Class = mv.Class
+				pkt.Work = mv.Work
+				q2 := e.queueAt(mv.Node, mv.Class)
+				q2.Push(pkt)
+				if l := q2.Len(); l > st.maxQueue {
 					st.maxQueue = l
 				}
 				if e.obsOn {
-					st.obs.GaugeAdd(obs.GQueueOccupancy, 1)
-					st.obs.Observe(obs.HQueueLen, int64(q.Len()))
-				}
-				sl.full = false
-				st.moves++
-			}
-		}
-
-		// Route(q) for every queue: advance the head packet if possible.
-		for u := int32(0); int(u) < e.nodes; u++ {
-			r := &e.rngs[u]
-			for c := 0; c < e.classes; c++ {
-				qi := int(u)*e.classes + c
-				q := e.queues[qi]
-				if q.Empty() || q.At(0).ID != e.headID[qi] {
-					continue
-				}
-				pkt := q.At(0)
-				moves := e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, cand[:0])
-				nAdm := 0
-				for i, mv := range moves {
-					if e.admissible(u, core.QueueClass(c), mv) {
-						adm[nAdm] = i
-						nAdm++
-					}
-				}
-				if nAdm == 0 {
-					if e.obsOn {
-						st.obs.Inc(obs.COutputStalls)
-					}
-					continue
-				}
-				mv := moves[eng.choose(r, moves, adm[:nAdm])]
-				switch {
-				case mv.Deliver:
-					pkt, _ = q.Pop()
-					if e.obsOn {
-						st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
-					}
-					e.deliverAtomic(pkt, cycle, win, &st)
-				case mv.Node == u && mv.Class == core.QueueClass(c) && mv.Port == core.PortInternal:
-					pkt.Work = mv.Work
-					q.Set(0, pkt)
-					st.moves++
-				default:
-					pkt, _ = q.Pop()
+					// Pop and push cancel in the occupancy gauge.
+					st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
 					if mv.Port != core.PortInternal {
-						pkt.Hops++
+						st.obs.Inc(obs.CLinkTransfers)
 					}
-					pkt.Class = mv.Class
-					pkt.Work = mv.Work
-					q2 := e.queueAt(mv.Node, mv.Class)
-					q2.Push(pkt)
-					if l := q2.Len(); l > st.maxQueue {
-						st.maxQueue = l
-					}
-					if e.obsOn {
-						// Pop and push cancel in the occupancy gauge.
-						st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
-						if mv.Port != core.PortInternal {
-							st.obs.Inc(obs.CLinkTransfers)
-						}
-					}
-					st.moves++
-					if mv.Kind == core.Dynamic {
-						st.dynamicMoves++
-					}
+				}
+				st.moves++
+				if mv.Kind == core.Dynamic {
+					st.dynamicMoves++
 				}
 			}
 		}
+	}
 
-		m.Moves += st.moves
-		m.DynamicMoves += st.dynamicMoves
-		m.Injected += st.injected
-		m.Delivered += st.delivered
-		m.Attempts += st.attempts
-		m.Successes += st.successes
-		m.LatencySum += st.latencySum
-		m.Measured += st.measured
-		if st.latencyMax > m.LatencyMax {
-			m.LatencyMax = st.latencyMax
+	m.Moves += st.moves
+	m.DynamicMoves += st.dynamicMoves
+	m.Injected += st.injected
+	m.Delivered += st.delivered
+	m.Dropped += st.dropped
+	m.Attempts += st.attempts
+	m.Successes += st.successes
+	m.LatencySum += st.latencySum
+	m.Measured += st.measured
+	if st.latencyMax > m.LatencyMax {
+		m.LatencyMax = st.latencyMax
+	}
+	if st.maxQueue > m.MaxQueue {
+		m.MaxQueue = st.maxQueue
+	}
+	if e.obsOn {
+		sh := &st.obs
+		sh.Add(obs.CInjected, st.injected)
+		sh.Add(obs.CDelivered, st.delivered)
+		sh.Add(obs.CMoves, st.moves)
+		sh.Add(obs.CDynamicMoves, st.dynamicMoves)
+		e.obsCore.Fold(sh)
+	}
+	*st = cycleStats{}
+	m.Cycles = cycle + 1
+	m.InFlight = m.Injected - m.Delivered - m.Dropped
+	if e.obsOn {
+		c := e.obsCore
+		c.SetGauge(obs.GInFlight, m.InFlight)
+		c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
+		if f != nil {
+			c.SetGauge(obs.GDeadLinks, int64(f.live.DeadLinks()))
+			c.SetGauge(obs.GDeadNodes, int64(f.live.DeadNodes()))
 		}
-		if st.maxQueue > m.MaxQueue {
-			m.MaxQueue = st.maxQueue
+		snap := c.EndCycle(m.Cycles)
+		if e.observer != nil {
+			e.observer.OnCycle(cycle, snap)
 		}
-		if e.obsOn {
-			sh := &st.obs
-			sh.Add(obs.CInjected, st.injected)
-			sh.Add(obs.CDelivered, st.delivered)
-			sh.Add(obs.CMoves, st.moves)
-			sh.Add(obs.CDynamicMoves, st.dynamicMoves)
-			e.obsCore.Fold(sh)
-		}
-		st = cycleStats{}
-		m.Cycles = cycle + 1
-		m.InFlight = m.Injected - m.Delivered
-		if e.obsOn {
-			c := e.obsCore
-			c.SetGauge(obs.GInFlight, m.InFlight)
-			c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
-			snap := c.EndCycle(m.Cycles)
-			if e.observer != nil {
-				e.observer.OnCycle(cycle, snap)
-			}
-		}
-		if e.cfg.OnCycle != nil {
-			e.cfg.OnCycle(cycle)
-		}
+	}
+	if e.cfg.OnCycle != nil {
+		e.cfg.OnCycle(cycle)
+	}
 
-		if drain && m.InFlight == 0 && e.allExhausted(src) {
-			return e.finish(m, false), nil
-		}
-		if m.Moves == prevMoves && m.InFlight > 0 {
-			idle++
-			if idle >= e.cfg.DeadlockWindow {
-				return e.finish(m, false), &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+	if rs.drain && m.InFlight == 0 && e.allExhausted(rs.src) {
+		e.end(false, nil)
+		return true, nil
+	}
+	if m.Moves == prevMoves && m.InFlight > 0 {
+		rs.idle++
+		if rs.idle >= e.cfg.DeadlockWindow {
+			derr := &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+			derr.Dump = buildDeadlockDump(e.algo, e.flt, int64(e.cfg.DeadlockWindow), cycle, m.InFlight, e.headAt)
+			if d, ok := e.observer.(obs.DeadlockObserver); ok {
+				d.OnDeadlock(derr.Dump)
 			}
-		} else {
-			idle = 0
+			e.end(false, derr)
+			return true, rs.err
 		}
+	} else {
+		rs.idle = 0
+	}
+	return false, nil
+}
+
+// headAt exposes queue heads to the deadlock-dump builder.
+func (e *AtomicEngine) headAt(u, c int) (*core.Packet, int) {
+	q := e.queues[u*e.classes+c]
+	if q.Empty() {
+		return nil, 0
+	}
+	pkt := q.At(0)
+	return &pkt, q.Len()
+}
+
+// applyFaultsAtomic replays the schedule events due at or before cycle.
+// Links carry no state in the atomic model, so only node kills purge.
+func (e *AtomicEngine) applyFaultsAtomic(cycle int64, st *cycleStats) {
+	f := e.flt
+	evs := f.sched.Events
+	changed := false
+	for f.nextEv < len(evs) && evs[f.nextEv].At <= cycle {
+		ev := evs[f.nextEv]
+		f.nextEv++
+		switch {
+		case ev.Port < 0 && ev.Up:
+			f.live.ReviveNode(int(ev.Node))
+		case ev.Port < 0:
+			if f.live.KillNode(int(ev.Node)) {
+				e.purgeNodeAtomic(ev.Node, cycle, st)
+			}
+		case ev.Up:
+			f.live.ReviveLink(int(ev.Node), int(ev.Port))
+		default:
+			f.live.KillLink(int(ev.Node), int(ev.Port))
+		}
+		changed = true
+	}
+	if changed {
+		f.recomputeLivePorts()
+	}
+}
+
+// purgeNodeAtomic drops everything a dead node holds. Nothing re-enters it:
+// routing and misrouting consult livePorts, which excludes dead endpoints.
+func (e *AtomicEngine) purgeNodeAtomic(u int32, cycle int64, st *cycleStats) {
+	for c := 0; c < e.classes; c++ {
+		q := e.queueAt(u, core.QueueClass(c))
+		n := q.Len()
+		for i := 0; i < n; i++ {
+			pkt := q.At(i)
+			e.dropAtomic(&pkt, cycle, st)
+		}
+		q.Clear()
+		if e.obsOn && n > 0 {
+			st.obs.GaugeAdd(obs.GQueueOccupancy, -int64(n))
+		}
+	}
+	if e.injQ[u].full {
+		e.dropAtomic(&e.injQ[u].pkt, cycle, st)
+		e.injQ[u] = injSlot{}
+	}
+}
+
+// dropAtomic accounts one packet lost to faults.
+func (e *AtomicEngine) dropAtomic(pkt *core.Packet, cycle int64, st *cycleStats) {
+	st.dropped++
+	if e.obsOn {
+		st.obs.Inc(obs.CFaultDrops)
+		st.obs.Observe(obs.HDropAge, cycle-pkt.InjectedAt+1)
+	}
+}
+
+// misrouteAtomic is the atomic model's degraded-routing fallback: the head
+// packet of queue qi, whose every minimal candidate died, moves into any
+// surviving neighbor's queue (re-entering it as a fresh injection with the
+// misroute flag set) or is dropped once its hop budget runs out.
+func (e *AtomicEngine) misrouteAtomic(u int32, qi int, cycle int64, st *cycleStats) {
+	f := e.flt
+	q := e.queues[qi]
+	pkt := q.At(0)
+	lp := f.livePorts[u]
+	if lp == 0 || pkt.HopCount() >= e.algo.MaxHops(pkt.Src, pkt.Dst)+f.hopBudget {
+		dropped, _ := q.Pop()
+		if e.obsOn {
+			st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
+		}
+		e.dropAtomic(&dropped, cycle, st)
+		return
+	}
+	// Hashed start port, not a (cycle+hops) rotation: see Engine.misroute
+	// for why the rotation can orbit a packet forever.
+	n := bits.OnesCount32(lp)
+	k := int(misrouteHash(cycle, pkt.ID, pkt.HopCount()) % uint32(n))
+	upper := lp
+	for i := 0; i < k; i++ {
+		upper &= upper - 1
+	}
+	for _, mk := range [2]uint32{upper, lp ^ upper} {
+		for ; mk != 0; mk &= mk - 1 {
+			p := bits.TrailingZeros32(mk)
+			v := int32(e.topo.Neighbor(int(u), p))
+			class, work := e.algo.Inject(v, pkt.Dst)
+			q2 := e.queueAt(v, class)
+			if q2.Free() < 1 {
+				continue
+			}
+			pkt, _ = q.Pop()
+			pkt.Hops++
+			pkt.MarkMisrouted()
+			pkt.Class = class
+			pkt.Work = work
+			q2.Push(pkt)
+			if l := q2.Len(); l > st.maxQueue {
+				st.maxQueue = l
+			}
+			if e.obsOn {
+				st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
+				st.obs.Inc(obs.CLinkTransfers)
+				st.obs.Inc(obs.CMisrouted)
+			}
+			st.moves++
+			return
+		}
+	}
+	if e.obsOn {
+		st.obs.Inc(obs.COutputStalls)
 	}
 }
 
@@ -350,15 +614,15 @@ func (e *AtomicEngine) admissible(u int32, class core.QueueClass, mv core.Move) 
 }
 
 func (e *AtomicEngine) deliverAtomic(pkt core.Packet, cycle int64, win runWindow, st *cycleStats) {
-	if !e.cfg.DisableInvariantChecks {
+	if !e.cfg.DisableInvariantChecks && !pkt.Misrouted() {
 		bound := e.algo.MaxHops(pkt.Src, pkt.Dst)
-		if int(pkt.Hops) > bound {
+		if pkt.HopCount() > bound {
 			panic(fmt.Sprintf("sim: %s: packet %d took %d hops from %d to %d, bound %d",
-				e.algo.Name(), pkt.ID, pkt.Hops, pkt.Src, pkt.Dst, bound))
+				e.algo.Name(), pkt.ID, pkt.HopCount(), pkt.Src, pkt.Dst, bound))
 		}
-		if e.algo.Props().Minimal && int(pkt.Hops) != bound {
+		if e.algo.Props().Minimal && pkt.HopCount() != bound {
 			panic(fmt.Sprintf("sim: %s: minimal algorithm delivered packet %d in %d hops, distance %d",
-				e.algo.Name(), pkt.ID, pkt.Hops, bound))
+				e.algo.Name(), pkt.ID, pkt.HopCount(), bound))
 		}
 	}
 	st.delivered++

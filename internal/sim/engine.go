@@ -143,9 +143,13 @@ type Engine struct {
 	atomicOcc bool
 	// waitFast enables the blocked-packet wait-mask cache. It requires a
 	// node's output buffers to fit one word, and failure causes beyond
-	// "that buffer is full" (credit reservations, remote lookahead) to be
-	// absent, because those can clear without any local buffer changing.
+	// "that buffer is full" (credit reservations, remote lookahead, link
+	// liveness) to be absent, because those can clear without any local
+	// buffer changing — which is why fault-enabled engines run without it.
 	waitFast bool
+	// flt is the fault-injection machinery; nil when Config.Faults is unset,
+	// so the no-fault hot path pays one pointer test per guarded site.
+	flt      *faultState
 	slotPort [64]uint8 // waitFast: outMask bit -> port (avoids a division)
 	owner    []int32   // node -> owning worker (avoids a division per transfer)
 
@@ -163,6 +167,9 @@ type Engine struct {
 	curSrc   TrafficSource
 	curWin   runWindow
 	curCycle int64
+
+	// rs is the control state of the stepwise run driver (Start/Step).
+	rs runState
 }
 
 // workerScratch holds per-worker reusable buffers so the hot loop does not
@@ -194,6 +201,7 @@ type cycleStats struct {
 	dynamicMoves int64
 	injected     int64
 	delivered    int64
+	dropped      int64
 	attempts     int64
 	successes    int64
 	latencySum   int64
@@ -287,7 +295,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.atomicOcc = a.Props().Credits
 	e.minimal = a.Props().Minimal
 	e.pmr, _ = a.(core.PortMaskRouter)
-	e.waitFast = e.ports*e.bufClasses <= 64 && !e.atomicOcc && !cfg.RemoteLookahead
+	if !cfg.Faults.Empty() {
+		if e.ports > 32 {
+			return nil, fmt.Errorf("sim: fault injection supports at most 32 ports per node, %s has %d", t.Name(), e.ports)
+		}
+		sched, err := cfg.Faults.Compile(t)
+		if err != nil {
+			return nil, err
+		}
+		e.flt = newFaultState(t, sched, cfg.HopBudget)
+	}
+	e.waitFast = e.ports*e.bufClasses <= 64 && !e.atomicOcc && !cfg.RemoteLookahead && e.flt == nil
 	if e.waitFast {
 		e.qwait = make([]uint64, len(e.qbuf))
 		e.outMask = make([]uint64, e.nodes)
@@ -390,6 +408,9 @@ func (e *Engine) reset() {
 		for i := range lanes {
 			lanes[i] = lanes[i][:0]
 		}
+	}
+	if e.flt != nil {
+		e.flt.reset()
 	}
 	if e.obsOn {
 		e.obsCore.Reset()
@@ -558,74 +579,178 @@ func (e *Engine) RunDynamic(src TrafficSource, warmup, measure int64) (Metrics, 
 	return res.Metrics, err
 }
 
-func (e *Engine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
+// runState is the control state of a stepwise run: everything the old
+// monolithic run loop kept on its stack, so that Step can execute exactly
+// one cycle per call. The four phase closures are built once per run; the
+// pool releases them clear at the end so parked workers never retain the
+// engine.
+type runState struct {
+	src       TrafficSource
+	win       runWindow
+	stopAt    int64
+	maxCycles int64
+	drain     bool
+	idle      int
+	m         Metrics
+
+	inject, phaseA, phaseB, link func(int)
+
+	active bool // Start was called
+	done   bool // the run finished; res/err hold the outcome
+	res    RunResult
+	err    error
+}
+
+// Start begins a stepwise run: the engine is reset and each subsequent Step
+// call simulates exactly one cycle. Run is Start plus a Step loop; use
+// Start/Step directly to interleave simulation with other work or inspect
+// engine state between cycles (Snapshot, Metrics).
+func (e *Engine) Start(src TrafficSource, plan Plan) {
+	win, stopAt, maxCycles, drain := plan.params()
+	e.start(src, win, stopAt, maxCycles, drain)
+}
+
+func (e *Engine) start(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) {
 	e.reset()
 	e.curSrc, e.curWin = src, win
-	// The four phase closures are built once per run; the pool releases
-	// them clear at the end so parked workers never retain the engine.
-	inject := func(w int) { e.workerInject(w) }
-	phaseA := func(w int) { e.workerPhaseA(w) }
-	phaseB := func(w int) { e.workerPhaseB(w) }
-	link := func(w int) { e.workerLink(w) }
+	e.rs = runState{
+		src: src, win: win, stopAt: stopAt, maxCycles: maxCycles, drain: drain,
+		active: true,
+		inject: func(w int) { e.workerInject(w) },
+		phaseA: func(w int) { e.workerPhaseA(w) },
+		phaseB: func(w int) { e.workerPhaseB(w) },
+		link:   func(w int) { e.workerLink(w) },
+	}
+}
+
+// end records the run's outcome (firing OnDone exactly once) and releases
+// the per-run state so parked pool workers never retain the engine.
+func (e *Engine) end(wasCanceled bool, err error) {
+	rs := &e.rs
+	rs.res = e.finish(rs.m, wasCanceled)
+	rs.err = err
+	rs.done = true
+	rs.inject, rs.phaseA, rs.phaseB, rs.link = nil, nil, nil, nil
+	rs.src = nil
+	e.curSrc = nil
+	if e.pool != nil {
+		e.pool.clear()
+	}
+}
+
+// Step simulates one cycle of the started plan and reports whether the run
+// finished (normally or with an error); Result then returns the outcome.
+// Calling Step again after done is a no-op returning the same outcome.
+func (e *Engine) Step() (done bool, err error) {
+	rs := &e.rs
+	if !rs.active {
+		panic("sim: Step called before Start")
+	}
+	if rs.done {
+		return true, rs.err
+	}
+	m := &rs.m
+	cycle := m.Cycles
+	if rs.stopAt > 0 && cycle >= rs.stopAt {
+		e.end(false, nil)
+		return true, rs.err
+	}
+	if rs.maxCycles > 0 && cycle > rs.maxCycles {
+		e.end(false, fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
+			e.algo.Name(), rs.maxCycles, m.InFlight))
+		return true, rs.err
+	}
+
+	prevMoves := m.Moves
+	e.curCycle = cycle
+	if e.flt != nil {
+		// Fault events apply sequentially at the cycle boundary, before the
+		// parallel phases observe the liveness masks.
+		e.applyFaults(cycle, &e.statsBuf[0])
+	}
+	e.exec(rs.inject)
+	e.exec(rs.phaseA)
+	e.exec(rs.phaseB)
+	e.exec(rs.link)
+	e.mergeCycle(m)
+	m.Cycles = cycle + 1
+	m.InFlight = m.Injected - m.Delivered - m.Dropped
+	if e.obsOn {
+		c := e.obsCore
+		c.SetGauge(obs.GInFlight, m.InFlight)
+		c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
+		c.SetGauge(obs.GLiveNodes, e.liveCount())
+		if e.flt != nil {
+			c.SetGauge(obs.GDeadLinks, int64(e.flt.live.DeadLinks()))
+			c.SetGauge(obs.GDeadNodes, int64(e.flt.live.DeadNodes()))
+		}
+		snap := c.EndCycle(m.Cycles)
+		if e.observer != nil {
+			e.observer.OnCycle(cycle, snap)
+		}
+	}
+	if e.cfg.OnCycle != nil {
+		e.cfg.OnCycle(cycle)
+	}
+
+	if rs.drain && m.InFlight == 0 && e.allExhausted(rs.src) {
+		e.end(false, nil)
+		return true, nil
+	}
+	if m.Moves == prevMoves && m.InFlight > 0 {
+		rs.idle++
+		if rs.idle >= e.cfg.DeadlockWindow {
+			derr := &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
+			derr.Dump = buildDeadlockDump(e.algo, e.flt, int64(e.cfg.DeadlockWindow), cycle, m.InFlight, e.headAt)
+			if d, ok := e.observer.(obs.DeadlockObserver); ok {
+				d.OnDeadlock(derr.Dump)
+			}
+			e.end(false, derr)
+			return true, rs.err
+		}
+	} else {
+		rs.idle = 0
+	}
+	return false, nil
+}
+
+// Result returns the outcome of the run once Step reported done (or Run
+// returned); before that it returns the zero RunResult and a nil error.
+func (e *Engine) Result() (RunResult, error) { return e.rs.res, e.rs.err }
+
+// Metrics returns the aggregate metrics of the current (possibly still
+// running) stepwise run.
+func (e *Engine) Metrics() Metrics { return e.rs.m }
+
+// headAt exposes queue heads to the deadlock-dump builder.
+func (e *Engine) headAt(u, c int) (*core.Packet, int) {
+	qi := u*e.classes + c
+	if e.qlen[qi] == 0 {
+		return nil, 0
+	}
+	return e.qAt(qi, 0), int(e.qlen[qi])
+}
+
+func (e *Engine) run(ctx context.Context, src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) (RunResult, error) {
+	e.start(src, win, stopAt, maxCycles, drain)
 	defer func() {
-		e.curSrc = nil
-		if e.pool != nil {
-			e.pool.clear()
+		// Guard against panics mid-cycle: the pool must not retain the
+		// engine's closures, and curSrc must not leak across runs.
+		if !e.rs.done {
+			e.curSrc = nil
+			e.rs.src, e.rs.inject, e.rs.phaseA, e.rs.phaseB, e.rs.link = nil, nil, nil, nil, nil
+			if e.pool != nil {
+				e.pool.clear()
+			}
 		}
 	}()
-	var m Metrics
-	idle := 0
-	for cycle := int64(0); ; cycle++ {
+	for {
 		if canceled(ctx) {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, true), ctx.Err()
+			e.end(true, ctx.Err())
+			return e.rs.res, e.rs.err
 		}
-		if stopAt > 0 && cycle >= stopAt {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, false), nil
-		}
-		if maxCycles > 0 && cycle > maxCycles {
-			m.Cycles = cycle
-			m.InFlight = m.Injected - m.Delivered
-			return e.finish(m, false), fmt.Errorf("sim: %s exceeded %d cycles with %d packets in flight",
-				e.algo.Name(), maxCycles, m.InFlight)
-		}
-
-		prevMoves := m.Moves
-		e.curCycle = cycle
-		e.exec(inject)
-		e.exec(phaseA)
-		e.exec(phaseB)
-		e.exec(link)
-		e.mergeCycle(&m)
-		m.Cycles = cycle + 1
-		m.InFlight = m.Injected - m.Delivered
-		if e.obsOn {
-			c := e.obsCore
-			c.SetGauge(obs.GInFlight, m.InFlight)
-			c.SetGauge(obs.GMaxQueue, int64(m.MaxQueue))
-			c.SetGauge(obs.GLiveNodes, e.liveCount())
-			snap := c.EndCycle(m.Cycles)
-			if e.observer != nil {
-				e.observer.OnCycle(cycle, snap)
-			}
-		}
-		if e.cfg.OnCycle != nil {
-			e.cfg.OnCycle(cycle)
-		}
-
-		if drain && m.InFlight == 0 && e.allExhausted(src) {
-			return e.finish(m, false), nil
-		}
-		if m.Moves == prevMoves && m.InFlight > 0 {
-			idle++
-			if idle >= e.cfg.DeadlockWindow {
-				return e.finish(m, false), &ErrDeadlock{Cycle: cycle, InFlight: int(m.InFlight), Algorithm: e.algo.Name()}
-			}
-		} else {
-			idle = 0
+		if done, _ := e.Step(); done {
+			return e.rs.res, e.rs.err
 		}
 	}
 }
@@ -677,6 +802,7 @@ func (e *Engine) mergeCycle(m *Metrics) {
 		m.DynamicMoves += st.dynamicMoves
 		m.Injected += st.injected
 		m.Delivered += st.delivered
+		m.Dropped += st.dropped
 		m.Attempts += st.attempts
 		m.Successes += st.successes
 		m.LatencySum += st.latencySum
@@ -736,6 +862,20 @@ func (e *Engine) injectNode(u int32, cycle int64, src TrafficSource, win runWind
 		e.injBits[u>>6] &^= 1 << (uint(u) & 63)
 		return
 	}
+	f := e.flt
+	if f != nil {
+		if !f.live.NodeAlive(int(u)) {
+			return // a dead node does not consult its source
+		}
+		if cycle < f.injNext[u] {
+			// Retry-with-backoff: the node's last attempts hit a saturated
+			// queue pool; it sits out the backoff window.
+			if e.obsOn {
+				st.obs.Inc(obs.CInjRetries)
+			}
+			return
+		}
+	}
 	if !src.Wants(u, cycle) {
 		return
 	}
@@ -749,9 +889,28 @@ func (e *Engine) injectNode(u int32, cycle int64, src TrafficSource, win runWind
 		}
 	}
 	if e.injQ[u].full {
+		if f != nil {
+			f.backoff(u, cycle)
+		}
 		return // injection queue occupied: the attempt fails
 	}
 	dst := src.Take(u, cycle)
+	if f != nil {
+		f.injFail[u] = 0
+		if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
+			// Unroutable at injection: the destination is dead, or the
+			// source is isolated. The packet counts as injected and then
+			// immediately dropped, keeping Injected-Delivered-Dropped exact.
+			e.nextID[u]++
+			st.injected++
+			if win.contains(cycle) {
+				st.successes++
+			}
+			pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
+			e.faultDropPacket(&pkt, cycle, st)
+			return
+		}
+	}
 	class, work := e.algo.Inject(u, dst)
 	e.nextID[u]++
 	e.injQ[u] = injSlot{
@@ -859,26 +1018,90 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 					fail := uint64(0)
 					port, found, tgt := 0, -1, 0
 					dyn := false
-					for mk := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn; mk != 0; mk &= mk - 1 {
-						t := bits.TrailingZeros32(mk)
-						bit := uint32(1) << uint(t)
-						tc, bc := 0, 0
-						d := pm.Dyn&bit != 0
-						if d {
-							tc, bc = int(pm.DynClass), e.classes
-						} else {
-							for pm.Static[tc]&bit == 0 {
-								tc++
+					if e.flt == nil {
+						// Fault-free scan: kept branch-for-branch identical to
+						// the pre-fault engine so an unused fault subsystem
+						// costs the hot path nothing.
+						for mk := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn; mk != 0; mk &= mk - 1 {
+							t := bits.TrailingZeros32(mk)
+							bit := uint32(1) << uint(t)
+							tc, bc := 0, 0
+							d := pm.Dyn&bit != 0
+							if d {
+								tc, bc = int(pm.DynClass), e.classes
+							} else {
+								for pm.Static[tc]&bit == 0 {
+									tc++
+								}
+								bc = tc
 							}
-							bc = tc
+							b := t*e.bufClasses + bc
+							if e.outFull[obase+b] != 0 {
+								fail |= 1 << uint(b&63)
+								continue
+							}
+							port, found, tgt, dyn = t, b, tc, d
+							break
 						}
-						b := t*e.bufClasses + bc
-						if e.outFull[obase+b] != 0 {
-							fail |= 1 << uint(b&63)
+					} else {
+						// Mask out dead links; if that empties the candidate
+						// set, fall back to misrouting over survivors.
+						lp := e.flt.livePorts[u]
+						pm.Static[0] &= lp
+						pm.Static[1] &= lp
+						pm.Static[2] &= lp
+						pm.Static[3] &= lp
+						pm.Dyn &= lp
+						union := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn
+						if union == 0 {
+							if !e.misroute(u, qi, idx, pkt, cycle, st) {
+								idx++
+							}
 							continue
 						}
-						port, found, tgt, dyn = t, b, tc, d
-						break
+						lower := uint32(0)
+						if union&(union-1) != 0 && pkt.Misrouted() {
+							// A fault-displaced packet must not scan low-to-high:
+							// first-free would deterministically re-take the
+							// dimension its last misroute came over, orbiting it
+							// back into the dead minimal cut forever. Hash the
+							// scan start instead (node-local, worker-safe) by
+							// splitting the mask at the k-th set bit.
+							k := int(misrouteHash(cycle, pkt.ID, pkt.HopCount()) % uint32(bits.OnesCount32(union)))
+							up := union
+							for i := 0; i < k; i++ {
+								up &= up - 1
+							}
+							lower = union ^ up
+							union = up
+						}
+						for mk := union; ; mk &= mk - 1 {
+							if mk == 0 {
+								if lower == 0 {
+									break
+								}
+								mk, lower = lower, 0 // wrap to the skipped low bits
+							}
+							t := bits.TrailingZeros32(mk)
+							bit := uint32(1) << uint(t)
+							tc, bc := 0, 0
+							d := pm.Dyn&bit != 0
+							if d {
+								tc, bc = int(pm.DynClass), e.classes
+							} else {
+								for pm.Static[tc]&bit == 0 {
+									tc++
+								}
+								bc = tc
+							}
+							b := t*e.bufClasses + bc
+							if e.outFull[obase+b] != 0 {
+								fail |= 1 << uint(b&63)
+								continue
+							}
+							port, found, tgt, dyn = t, b, tc, d
+							break
+						}
 					}
 					if found < 0 {
 						if wf {
@@ -913,6 +1136,17 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 			}
 			sc.cand = e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, sc.cand[:0])
 			moves := sc.cand
+			if e.flt != nil {
+				moves = e.flt.filterLiveMoves(u, moves)
+				if len(moves) == 0 {
+					// Faults removed every candidate (deliveries and internal
+					// moves always survive the filter): misroute or drop.
+					if !e.misroute(u, qi, idx, pkt, cycle, st) {
+						idx++
+					}
+					continue
+				}
+			}
 			sc.failMask, sc.failOK = 0, true
 			// Select among the admissible candidates. The positional
 			// policies short-circuit the admissibility scan; the random
@@ -921,6 +1155,37 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 			mvi := -1
 			switch pol {
 			case PolicyFirstFree:
+				if e.flt != nil && len(moves) > 1 && pkt.Misrouted() {
+					// Hashed scan start for fault-displaced packets: see the
+					// port-mask path above for why first-free would orbit
+					// them back into the dead minimal cut.
+					start := int(misrouteHash(cycle, pkt.ID, pkt.HopCount()) % uint32(len(moves)))
+					for ii := range moves {
+						i := ii + start
+						if i >= len(moves) {
+							i -= len(moves)
+						}
+						m := &moves[i]
+						if fastAdm && m.Port >= 0 && m.Credit == 0 {
+							bc := int(m.Class)
+							if m.Kind == core.Dynamic {
+								bc = e.classes
+							}
+							bc += int(m.Port) * e.bufClasses
+							if e.outFull[obase+bc] != 0 {
+								sc.failMask |= 1 << uint(bc&63)
+								continue
+							}
+							mvi = i
+							break
+						}
+						if e.admissibleA(u, core.QueueClass(c), m, sc) {
+							mvi = i
+							break
+						}
+					}
+					break
+				}
 				for i := range moves {
 					m := &moves[i]
 					if fastAdm && m.Port >= 0 && m.Credit == 0 {
@@ -1255,6 +1520,9 @@ func (e *Engine) cutThrough(u int32, si int32, src *core.Packet, st *cycleStats,
 			// deadlock analysis is unchanged and waiting strictly shrinks.
 			continue
 		}
+		if e.flt != nil && !e.flt.portAlive(u, mv.Port) {
+			continue
+		}
 		bc := int(mv.Class)
 		if mv.Kind == core.Dynamic {
 			bc = e.classes
@@ -1402,15 +1670,17 @@ func (e *Engine) linkTransfer(u int32, l, p, w int, st *cycleStats) {
 // asserting the livelock-freedom hop bound (and exact minimality for
 // minimal algorithms).
 func (e *Engine) deliver(pkt core.Packet, cycle int64, win runWindow, st *cycleStats) {
-	if !e.cfg.DisableInvariantChecks {
+	// Misrouted packets left the minimal path to dodge a fault; their hop
+	// bound is the misroute budget, enforced at misroute time instead.
+	if !e.cfg.DisableInvariantChecks && !pkt.Misrouted() {
 		bound := e.algo.MaxHops(pkt.Src, pkt.Dst)
-		if int(pkt.Hops) > bound {
+		if pkt.HopCount() > bound {
 			panic(fmt.Sprintf("sim: %s: packet %d took %d hops from %d to %d, bound %d",
-				e.algo.Name(), pkt.ID, pkt.Hops, pkt.Src, pkt.Dst, bound))
+				e.algo.Name(), pkt.ID, pkt.HopCount(), pkt.Src, pkt.Dst, bound))
 		}
-		if e.minimal && int(pkt.Hops) != bound {
+		if e.minimal && pkt.HopCount() != bound {
 			panic(fmt.Sprintf("sim: %s: minimal algorithm delivered packet %d in %d hops, distance %d",
-				e.algo.Name(), pkt.ID, pkt.Hops, bound))
+				e.algo.Name(), pkt.ID, pkt.HopCount(), bound))
 		}
 	}
 	st.delivered++

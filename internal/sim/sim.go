@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -96,7 +97,7 @@ type Config struct {
 	// QueueCap is the capacity of each central queue (the paper fixes 5).
 	// Must be >= 2 for algorithms that use bubble-guarded moves.
 	QueueCap int
-	// Policy selects among admissible moves; default PolicyRandom.
+	// Policy selects among admissible moves; default PolicyFirstFree.
 	Policy Policy
 	// Seed makes runs reproducible. Every node derives its own generator
 	// from it, so results are independent of worker count.
@@ -126,6 +127,19 @@ type Config struct {
 	// 7.1's per-buffer FIFO arbitration; HeadOnly quantifies the cost of
 	// head-of-line blocking as an ablation.
 	HeadOnly bool
+	// Faults schedules link and node failures for the run (see the fault
+	// package). The plan is compiled against the algorithm's topology when
+	// the engine is built; a nil plan (the default) costs nothing on the hot
+	// path. With faults enabled the engine routes around dead links
+	// (misrouting with a hop budget when the minimal candidate set is
+	// emptied), drops packets that faults strand, and applies
+	// retry-with-backoff to saturated injection — all bit-deterministically
+	// across worker counts.
+	Faults *fault.Plan
+	// HopBudget bounds the extra link traversals (beyond MaxHops) a
+	// fault-misrouted packet may take before it is dropped. 0 selects the
+	// plan's budget, or 64 when the plan sets none. Ignored without Faults.
+	HopBudget int
 	// RemoteLookahead makes a packet commit to an output buffer only when
 	// the target queue currently has room for every packet already headed
 	// its way plus this one (occupancy + inbound < capacity). This realizes
@@ -190,6 +204,11 @@ type ErrDeadlock struct {
 	Cycle     int64
 	InFlight  int
 	Algorithm string
+	// Dump is the wait-for state at the moment the watchdog fired: which
+	// queue heads were blocked and which outputs they were waiting on. It is
+	// also delivered to the run's observer when it implements
+	// obs.DeadlockObserver.
+	Dump *obs.DeadlockDump
 }
 
 func (e *ErrDeadlock) Error() string {
@@ -203,6 +222,7 @@ type Metrics struct {
 	Cycles       int64 // cycles simulated
 	Injected     int64 // packets that entered an injection queue
 	Delivered    int64 // packets consumed at their destination
+	Dropped      int64 // packets lost to faults (dead nodes/links, hop budget)
 	InFlight     int64 // packets still in the network when the run ended
 	Attempts     int64 // injection attempts (dynamic model, measured window)
 	Successes    int64 // successful attempts (dynamic model, measured window)

@@ -1,0 +1,298 @@
+// Package spec parses the textual specifications the tools and the public
+// facade accept — algorithm specs like "hypercube-adaptive:10" or
+// "mesh-adaptive:16x16", and traffic-pattern specs like "hotspot:0.2" — and
+// formats algorithms back into their canonical specs (Format is Parse's
+// inverse). Errors are structured: an unrecognized family yields an
+// *UnknownNameError listing the valid names, a malformed or out-of-range
+// argument a *ParseError naming the offending spec.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// UnknownNameError reports a spec whose family name is not recognized.
+type UnknownNameError struct {
+	Kind  string   // what was being named: "algorithm", "pattern"
+	Name  string   // the unrecognized name
+	Valid []string // the accepted names or spec templates
+}
+
+func (e *UnknownNameError) Error() string {
+	return fmt.Sprintf("spec: unknown %s %q, valid: %s", e.Kind, e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ParseError reports a recognized spec with a malformed or out-of-range
+// argument.
+type ParseError struct {
+	Spec   string // the full spec as given
+	Reason string // what is wrong with it
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spec: %s: %s", e.Spec, e.Reason)
+}
+
+func badSpec(spec, format string, args ...any) error {
+	return &ParseError{Spec: spec, Reason: fmt.Sprintf(format, args...)}
+}
+
+// AlgorithmNames lists the spec templates accepted by Algorithm.
+func AlgorithmNames() []string {
+	return []string{
+		"hypercube-adaptive:<dims>",
+		"hypercube-hung:<dims>",
+		"hypercube-ecube:<dims>",
+		"mesh-adaptive:<side>x<side>[x...]",
+		"mesh-twophase:<side>x<side>[x...]",
+		"mesh-xy:<side>x<side>[x...]",
+		"shuffle-adaptive:<dims>",
+		"shuffle-static:<dims>",
+		"shuffle-eager:<dims>",
+		"ccc-adaptive:<dims>",
+		"ccc-static:<dims>",
+		"torus-adaptive:<side>x<side>[x...]",
+	}
+}
+
+// PatternNames lists the spec templates accepted by Pattern.
+func PatternNames() []string {
+	return []string{
+		"random", "complement", "transpose", "leveled", "bit-reversal",
+		"mesh-transpose", "hotspot:<fraction>",
+	}
+}
+
+// maxNodes caps the node count a textual spec may ask for, so a typo like
+// "mesh-adaptive:100000x100000" fails fast instead of allocating.
+const maxNodes = 1 << 24
+
+// Algorithm builds a routing algorithm from a textual spec such as
+// "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8".
+// Malformed or out-of-range sizes (e.g. "hypercube-adaptive:-1",
+// "mesh-adaptive:0x5") are reported as errors, never panics: each family's
+// topology bounds — hypercube and shuffle-exchange dimension, CCC order,
+// minimum mesh/torus sides — are validated here before construction.
+func Algorithm(spec string) (core.Algorithm, error) {
+	name, arg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, badSpec(spec, "algorithm spec needs a size, e.g. %q", "hypercube-adaptive:10")
+	}
+	dims := func(lo, hi int) (int, error) {
+		d, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, badSpec(spec, "bad dimension %q", arg)
+		}
+		if d < lo || d > hi {
+			return 0, badSpec(spec, "dimension %d out of range [%d,%d]", d, lo, hi)
+		}
+		return d, nil
+	}
+	shape := func(minSide int) ([]int, error) {
+		parts := strings.Split(arg, "x")
+		out := make([]int, len(parts))
+		nodes := 1
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, badSpec(spec, "bad shape %q", arg)
+			}
+			if v < minSide {
+				return nil, badSpec(spec, "side %d must be >= %d, got %d", i, minSide, v)
+			}
+			if nodes > maxNodes/v {
+				return nil, badSpec(spec, "more than %d nodes", maxNodes)
+			}
+			nodes *= v
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch name {
+	case "hypercube-adaptive":
+		d, err := dims(1, 30)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeAdaptive(d), nil
+	case "hypercube-hung":
+		d, err := dims(1, 30)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeHung(d), nil
+	case "hypercube-ecube":
+		d, err := dims(1, 30)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewHypercubeECube(d), nil
+	case "mesh-adaptive":
+		s, err := shape(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshAdaptive(s...), nil
+	case "mesh-twophase":
+		s, err := shape(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshTwoPhase(s...), nil
+	case "mesh-xy":
+		s, err := shape(1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewMeshXY(s...), nil
+	case "shuffle-adaptive":
+		d, err := dims(1, 26)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeAdaptive(d), nil
+	case "shuffle-static":
+		d, err := dims(1, 26)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeStatic(d), nil
+	case "shuffle-eager":
+		d, err := dims(1, 26)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewShuffleExchangeEager(d), nil
+	case "ccc-adaptive":
+		d, err := dims(2, 16)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCCCAdaptive(d), nil
+	case "ccc-static":
+		d, err := dims(2, 16)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCCCStatic(d), nil
+	case "torus-adaptive":
+		s, err := shape(3)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTorusAdaptive(s...), nil
+	}
+	return nil, &UnknownNameError{Kind: "algorithm", Name: name, Valid: AlgorithmNames()}
+}
+
+// Format renders the canonical spec of an algorithm built by this package:
+// Algorithm(Format(a)) reconstructs an equivalent algorithm. It fails for
+// algorithms over topologies the spec grammar cannot name.
+func Format(a core.Algorithm) (string, error) {
+	var arg string
+	switch t := a.Topology().(type) {
+	case *topology.Hypercube:
+		arg = strconv.Itoa(t.Dims())
+	case *topology.ShuffleExchange:
+		arg = strconv.Itoa(t.Dims())
+	case *topology.CCC:
+		arg = strconv.Itoa(t.Dims())
+	case *topology.Mesh:
+		arg = joinShape(t.Shape())
+	case *topology.Torus:
+		arg = joinShape(t.Shape())
+	default:
+		return "", fmt.Errorf("spec: no spec syntax for topology %s", a.Topology().Name())
+	}
+	return a.Name() + ":" + arg, nil
+}
+
+func joinShape(shape []int) string {
+	parts := make([]string, len(shape))
+	for i, s := range shape {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, "x")
+}
+
+// Pattern builds a traffic pattern from a textual spec for an algorithm's
+// topology: "random", "complement", "transpose", "leveled", "bit-reversal",
+// "mesh-transpose" and "hotspot:<fraction>". Hypercube-address patterns
+// (complement, transpose, leveled, bit-reversal) require a power-of-two node
+// count; mesh-transpose requires a square 2-dimensional mesh or torus.
+func Pattern(pspec string, a core.Algorithm, seed int64) (traffic.Pattern, error) {
+	topo := a.Topology()
+	nodes := topo.Nodes()
+	bits := func() (int, error) {
+		b := 0
+		for 1<<b < nodes {
+			b++
+		}
+		if 1<<b != nodes {
+			return 0, badSpec(pspec, "pattern needs a power-of-two node count, have %d", nodes)
+		}
+		return b, nil
+	}
+	name, arg, _ := strings.Cut(pspec, ":")
+	switch name {
+	case "random":
+		return traffic.Random{Nodes: nodes}, nil
+	case "complement":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Complement{Bits: b}, nil
+	case "transpose":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.Transpose{Bits: b}, nil
+	case "leveled":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewLeveled(b, seed), nil
+	case "bit-reversal":
+		b, err := bits()
+		if err != nil {
+			return nil, err
+		}
+		return traffic.BitReversal{Bits: b}, nil
+	case "mesh-transpose":
+		side := 0
+		switch t := topo.(type) {
+		case *topology.Mesh:
+			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
+				side = t.Shape()[0]
+			}
+		case *topology.Torus:
+			if t.Dims() == 2 && t.Shape()[0] == t.Shape()[1] {
+				side = t.Shape()[0]
+			}
+		}
+		if side == 0 {
+			return nil, badSpec(pspec, "mesh-transpose needs a square 2-dimensional mesh or torus, have %s", topo.Name())
+		}
+		return traffic.MeshTranspose{Side: side}, nil
+	case "hotspot":
+		frac := 0.2
+		if arg != "" {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil || !(v >= 0 && v <= 1) { // rejects NaN too
+				return nil, badSpec(pspec, "bad hotspot fraction %q", arg)
+			}
+			frac = v
+		}
+		return traffic.Hotspot{Nodes: nodes, Hot: int32(nodes / 2), Fraction: frac}, nil
+	}
+	return nil, &UnknownNameError{Kind: "pattern", Name: name, Valid: PatternNames()}
+}

@@ -1,0 +1,167 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestFormatRoundTrip checks Format is Algorithm's inverse: every spec in
+// the grammar parses, formats back to itself, and re-parses to an algorithm
+// with the same name and topology.
+func TestFormatRoundTrip(t *testing.T) {
+	specs := []string{
+		"hypercube-adaptive:6",
+		"hypercube-hung:5",
+		"hypercube-ecube:4",
+		"mesh-adaptive:4x6",
+		"mesh-twophase:3x3",
+		"mesh-xy:5x5",
+		"mesh-adaptive:3x4x2",
+		"shuffle-adaptive:5",
+		"shuffle-static:5",
+		"shuffle-eager:4",
+		"ccc-adaptive:3",
+		"ccc-static:3",
+		"torus-adaptive:4x4",
+		"torus-adaptive:3x4x5",
+	}
+	for _, s := range specs {
+		a, err := Algorithm(s)
+		if err != nil {
+			t.Errorf("Algorithm(%q): %v", s, err)
+			continue
+		}
+		got, err := Format(a)
+		if err != nil {
+			t.Errorf("Format(Algorithm(%q)): %v", s, err)
+			continue
+		}
+		if got != s {
+			t.Errorf("round trip: %q -> %q", s, got)
+			continue
+		}
+		b, err := Algorithm(got)
+		if err != nil {
+			t.Errorf("re-parse %q: %v", got, err)
+			continue
+		}
+		if b.Name() != a.Name() || b.Topology().Nodes() != a.Topology().Nodes() {
+			t.Errorf("%q re-parsed to %s/%d nodes, want %s/%d",
+				s, b.Name(), b.Topology().Nodes(), a.Name(), a.Topology().Nodes())
+		}
+	}
+}
+
+func TestAlgorithmUnknownName(t *testing.T) {
+	_, err := Algorithm("warpdrive:4")
+	var ue *UnknownNameError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnknownNameError, got %v", err)
+	}
+	if ue.Kind != "algorithm" || ue.Name != "warpdrive" || len(ue.Valid) == 0 {
+		t.Errorf("bad error fields: %+v", ue)
+	}
+	if !strings.Contains(ue.Error(), "hypercube-adaptive") {
+		t.Errorf("error message does not list valid names: %s", ue.Error())
+	}
+}
+
+func TestAlgorithmParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"hypercube-adaptive",      // no argument
+		"hypercube-adaptive:x",    // non-integer dims
+		"hypercube-adaptive:0",    // below range
+		"hypercube-adaptive:99",   // above range
+		"mesh-adaptive:axb",       // non-integer shape
+		"mesh-adaptive:0x5",       // zero side
+		"torus-adaptive:2x2",      // torus side below 3
+		"mesh-adaptive:5000x5000", // over the node cap
+		"ccc-adaptive:1",          // CCC order below 2
+	} {
+		_, err := Algorithm(s)
+		if err == nil {
+			t.Errorf("Algorithm(%q) accepted", s)
+			continue
+		}
+		var pe *ParseError
+		if s != "hypercube-adaptive" && !errors.As(err, &pe) {
+			t.Errorf("Algorithm(%q): want *ParseError, got %T %v", s, err, err)
+		}
+	}
+}
+
+func TestPatternUnknownName(t *testing.T) {
+	a, err := Algorithm("hypercube-adaptive:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Pattern("zigzag", a, 1)
+	var ue *UnknownNameError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnknownNameError, got %v", err)
+	}
+	if ue.Kind != "pattern" || ue.Name != "zigzag" {
+		t.Errorf("bad error fields: %+v", ue)
+	}
+}
+
+func TestPatternParseErrors(t *testing.T) {
+	cube, err := Algorithm("hypercube-adaptive:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := Algorithm("mesh-adaptive:3x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		pspec string
+		on    string
+	}{
+		{"hotspot:2", "cube"},      // fraction > 1
+		{"hotspot:x", "cube"},      // non-numeric fraction
+		{"complement", "mesh"},     // 15 nodes, not a power of two
+		{"mesh-transpose", "cube"}, // not a mesh
+		{"mesh-transpose", "mesh"}, // not square
+	} {
+		a := cube
+		if c.on == "mesh" {
+			a = mesh
+		}
+		_, err := Pattern(c.pspec, a, 1)
+		if err == nil {
+			t.Errorf("Pattern(%q) on %s accepted", c.pspec, c.on)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Pattern(%q) on %s: want *ParseError, got %T %v", c.pspec, c.on, err, err)
+		}
+	}
+}
+
+func TestNamesAreConstructible(t *testing.T) {
+	for _, tmpl := range AlgorithmNames() {
+		name := strings.SplitN(tmpl, ":", 2)[0]
+		arg := "4"
+		if strings.Contains(tmpl, "x<side>") {
+			arg = "4x4"
+		}
+		if _, err := Algorithm(name + ":" + arg); err != nil {
+			t.Errorf("listed algorithm %q not constructible: %v", tmpl, err)
+		}
+	}
+	cube, _ := Algorithm("hypercube-adaptive:4")
+	mesh, _ := Algorithm("mesh-adaptive:4x4")
+	for _, tmpl := range PatternNames() {
+		name := strings.SplitN(tmpl, ":", 2)[0]
+		a := cube
+		if name == "mesh-transpose" {
+			a = mesh
+		}
+		if _, err := Pattern(name, a, 1); err != nil {
+			t.Errorf("listed pattern %q not constructible: %v", tmpl, err)
+		}
+	}
+}

@@ -48,7 +48,7 @@ func (c *Collector) OnDeliver(pkt core.Packet, latency int64) {
 		c.max = latency
 	}
 	c.counts[latency]++
-	c.byHops[int(pkt.Hops)]++
+	c.byHops[pkt.HopCount()]++
 }
 
 // Count returns the number of recorded deliveries.

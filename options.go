@@ -64,10 +64,31 @@ func WithHeadOnly() EngineOption {
 	return func(c *Config) { c.HeadOnly = true }
 }
 
-// WithDeadlockWindow sets the no-progress window after which the watchdog
-// aborts with ErrDeadlock (default 1000 cycles).
-func WithDeadlockWindow(cycles int) EngineOption {
-	return func(c *Config) { c.DeadlockWindow = cycles }
+// WithWatchdog sets the no-progress window after which the deadlock
+// watchdog aborts the run with ErrDeadlock (default 1000 cycles). When it
+// fires, the wait-for state of every blocked queue head is captured in
+// ErrDeadlock.Dump and delivered to observers implementing OnDeadlock.
+func WithWatchdog(windowCycles int) EngineOption {
+	return func(c *Config) { c.DeadlockWindow = windowCycles }
+}
+
+// WithDeadlockWindow sets the watchdog's no-progress window.
+//
+// Deprecated: renamed WithWatchdog; this alias keeps working through v0.x.
+func WithDeadlockWindow(cycles int) EngineOption { return WithWatchdog(cycles) }
+
+// WithFaultPlan schedules deterministic link/node failures for the run and
+// enables degraded-mode routing: misrouting over surviving links (bounded by
+// hopBudget extra traversals beyond the minimal distance; <= 0 selects the
+// plan's budget, or 64) when faults empty a packet's minimal candidate set,
+// drops for packets that faults strand, and exponential retry-backoff for
+// injection under saturation. Build the plan with FaultPlan methods or
+// ParseFaultSpec. A nil plan leaves the fault machinery compiled out.
+func WithFaultPlan(p *FaultPlan, hopBudget int) EngineOption {
+	return func(c *Config) {
+		c.Faults = p
+		c.HopBudget = hopBudget
+	}
 }
 
 // buildConfig folds the options over a zero Config for algo.
