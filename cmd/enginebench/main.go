@@ -1,4 +1,4 @@
-// Command enginebench measures the buffered engine's raw throughput
+// Command enginebench measures the simulation engines' raw throughput
 // (cycles/sec and delivered packets/sec) on the paper's λ=1 dynamic random
 // workload and appends the result to the BENCH_engine.json perf trajectory,
 // so every change to the engine's hot loop is measured against the recorded
@@ -8,6 +8,13 @@
 //
 //	go run ./cmd/enginebench -label my-change
 //	go run ./cmd/enginebench -label quick -dims 8,10 -measure 200
+//	go run ./cmd/enginebench -label atomic-change -engine atomic
+//
+// Comparison mode gates CI on regressions: it compares the matching cells
+// of two trajectory files and exits nonzero when any cell of the second
+// lost more than -tolerance of its baseline throughput:
+//
+//	go run ./cmd/enginebench -compare -tolerance 0.15 old.json new.json
 package main
 
 import (
@@ -22,18 +29,26 @@ import (
 
 func main() {
 	var (
-		label   = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
-		out     = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
-		dims    = flag.String("dims", "8,10,12", "comma-separated hypercube dimensions")
-		workers = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
-		warmup  = flag.Int64("warmup", 100, "warmup cycles per cell")
-		measure = flag.Int64("measure", 400, "measured cycles per cell")
-		repeat  = flag.Int("repeat", 3, "timed repetitions per cell (fastest kept)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		base    = flag.String("baseline", "", "label of a recorded run to print speedups against (default: first run in the file)")
-		note    = flag.String("note", "", "free-form context recorded with the run (e.g. host conditions)")
+		label     = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
+		out       = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
+		dims      = flag.String("dims", "8,10,12", "comma-separated hypercube dimensions")
+		workers   = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
+		warmup    = flag.Int64("warmup", 100, "warmup cycles per cell")
+		measure   = flag.Int64("measure", 400, "measured cycles per cell")
+		repeat    = flag.Int("repeat", 3, "timed repetitions per cell (fastest kept)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		engine    = flag.String("engine", "buffered", "simulation model to benchmark: buffered|atomic")
+		base      = flag.String("baseline", "", "label of a recorded run to print speedups against (default: first run in the file)")
+		note      = flag.String("note", "", "free-form context recorded with the run (e.g. host conditions)")
+		compare   = flag.Bool("compare", false, "compare two trajectory files (old.json new.json) and exit nonzero on regression")
+		tolerance = flag.Float64("tolerance", 0.10, "compare mode: tolerated relative slowdown per cell (0.10 = 10%)")
+		useLabel  = flag.String("compare-labels", "", "compare mode: \"oldLabel,newLabel\" run labels to compare (default: last run of each file)")
 	)
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tolerance, *useLabel))
+	}
 
 	cfg := bench.EngineBenchConfig{
 		Dims:    parseInts(*dims),
@@ -42,6 +57,7 @@ func main() {
 		Measure: *measure,
 		Repeat:  *repeat,
 		Seed:    *seed,
+		Engine:  *engine,
 	}
 	run, err := bench.RunEngineBench(*label, cfg)
 	fatal(err)
@@ -63,6 +79,67 @@ func main() {
 	if *out != "" {
 		fmt.Printf("appended run %q to %s\n", *label, *out)
 	}
+}
+
+// runCompare loads two trajectory files, picks one run from each, and
+// reports the regressed cells. Exit status: 0 = no regression, 1 =
+// regression found, 2 = usage or load error.
+func runCompare(args []string, tolerance float64, labels string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "enginebench: -compare needs exactly two trajectory files: old.json new.json")
+		return 2
+	}
+	var oldLabel, newLabel string
+	if labels != "" {
+		parts := strings.SplitN(labels, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "enginebench: -compare-labels wants \"oldLabel,newLabel\"")
+			return 2
+		}
+		oldLabel, newLabel = parts[0], parts[1]
+	}
+	baseRun, err := pickRun(args[0], oldLabel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		return 2
+	}
+	curRun, err := pickRun(args[1], newLabel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "enginebench:", err)
+		return 2
+	}
+	regs := bench.CompareEngineBench(baseRun, curRun, tolerance)
+	fmt.Printf("compare %q (%s) vs %q (%s), tolerance %.0f%%:\n",
+		baseRun.Label, args[0], curRun.Label, args[1], 100*tolerance)
+	if len(regs) == 0 {
+		fmt.Println("  ok: no cell regressed")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Println("  REGRESSION:", r)
+	}
+	return 1
+}
+
+// pickRun loads a trajectory file and returns the run with the given label,
+// or the last recorded run when label is empty.
+func pickRun(path, label string) (bench.EngineBenchRun, error) {
+	file, err := bench.LoadEngineBench(path)
+	if err != nil {
+		return bench.EngineBenchRun{}, err
+	}
+	if len(file.Runs) == 0 {
+		return bench.EngineBenchRun{}, fmt.Errorf("%s: no recorded runs", path)
+	}
+	if label == "" {
+		return file.Runs[len(file.Runs)-1], nil
+	}
+	for i := range file.Runs {
+		if file.Runs[i].Label == label {
+			return file.Runs[i], nil
+		}
+	}
+	return bench.EngineBenchRun{}, fmt.Errorf("%s: no run labeled %q", path, label)
 }
 
 func parseInts(s string) []int {

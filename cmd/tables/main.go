@@ -5,35 +5,61 @@
 //
 //	tables [-table tableK] [-maxn 14] [-seed 1] [-cap 5] [-algo adaptive]
 //	       [-warmup 500] [-measure 1500] [-policy first-free]
+//	       [-jobs 4] [-budget 8] [-checkpoint sweep.jsonl] [-resume] [-progress]
 //
-// The full sweep up to n=14 (16K nodes) takes tens of minutes on one core,
-// dominated by the dynamic (λ=1) experiments; -maxn 12 finishes in a few
-// minutes and already shows every trend.
+// The sweep runs through the internal/sweep orchestrator: cells are
+// scheduled longest-first onto -jobs concurrent slots sharing a -budget
+// worker pool, and -checkpoint/-resume journal completed cells so a killed
+// sweep picks up where it left off. The full sweep up to n=14 (16K nodes)
+// costs a few core-hours of simulation, dominated by the dynamic (λ=1)
+// experiments — run it with -jobs set to the core count; -maxn 12 finishes
+// in a few minutes even sequentially and already shows every trend.
+//
+// Table output is written to stdout and is bit-identical for any -jobs
+// value (and across a kill/-resume cycle); timings and -progress status
+// lines go to stderr so stdout stays clean for diffing.
+//
+// Exit codes: 0 success, 1 simulation error, 2 usage, 3 stopped early by
+// -stop-after (the checkpoint holds the completed cells).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		table   = flag.String("table", "", "run a single experiment (table1..table12 or an ext-* id); default all")
-		suite   = flag.String("suite", "paper", "experiment suite: paper (Tables 1-12) | extended (mesh/torus/shuffle/CCC) | all")
-		maxN    = flag.Int("maxn", 14, "largest hypercube dimension to simulate")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		cap_    = flag.Int("cap", 5, "central queue capacity (paper: 5)")
-		algo    = flag.String("algo", "adaptive", "algorithm variant: adaptive|hung|ecube")
-		warmup  = flag.Int64("warmup", 500, "dynamic runs: warmup cycles")
-		measure = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
-		policy  = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
-		workers = flag.Int("workers", 0, "parallel workers per simulation (0 = sequential)")
-		engine  = flag.String("engine", "buffered", "simulation model: buffered (paper's node model) | atomic (Section 2)")
+		table      = flag.String("table", "", "run a single experiment (table1..table12 or an ext-* id); default all")
+		suite      = flag.String("suite", "paper", "experiment suite: paper (Tables 1-12) | extended (mesh/torus/shuffle/CCC) | all")
+		maxN       = flag.Int("maxn", 14, "largest hypercube dimension to simulate")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		cap_       = flag.Int("cap", 5, "central queue capacity (paper: 5)")
+		algo       = flag.String("algo", "adaptive", "algorithm variant: adaptive|hung|ecube")
+		warmup     = flag.Int64("warmup", 500, "dynamic runs: warmup cycles")
+		measure    = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
+		policy     = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+		workers    = flag.Int("workers", 0, "force this many workers per simulation (0 = let the scheduler decide)")
+		engine     = flag.String("engine", "buffered", "simulation model: buffered (paper's node model) | atomic (Section 2)")
+		jobs       = flag.Int("jobs", 1, "concurrent experiment cells")
+		budget     = flag.Int("budget", 0, "total worker budget across cells (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal; completed cells append here")
+		resume     = flag.Bool("resume", false, "skip cells already in -checkpoint (same seed/options/build only)")
+		progress   = flag.Bool("progress", false, "live per-cell status with ETA on stderr")
+		stopAfter  = flag.Int("stop-after", 0, "stop (exit 3) after completing this many cells; for checkpoint testing")
+		benchOut   = flag.String("bench", "", "append sweep wall-clock record to this JSON file")
+		benchLabel = flag.String("bench-label", "", "label for the -bench record")
 	)
 	flag.Parse()
 
@@ -43,7 +69,6 @@ func main() {
 		Warmup:    *warmup,
 		Measure:   *measure,
 		Algorithm: *algo,
-		Workers:   *workers,
 		Engine:    *engine,
 	}
 	switch *policy {
@@ -60,48 +85,100 @@ func main() {
 		os.Exit(2)
 	}
 
-	runPaper := func(ex bench.Experiment) {
-		start := time.Now()
-		rows, err := ex.RunAll(*maxN, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Print(ex.Format(rows))
-		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	jobList, err := sweep.BuildJobs(*suite, *table, *maxN, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	runExt := func(ex bench.Extended) {
-		start := time.Now()
-		rows, err := ex.RunAll(0, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Print(ex.Format(rows))
-		fmt.Printf("  [%s]\n\n", time.Since(start).Round(time.Millisecond))
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
+		os.Exit(2)
 	}
 
-	if *table != "" {
-		if ex, err := bench.FindTable(*table); err == nil {
-			runPaper(ex)
-			return
-		}
-		ex, err := bench.FindExtended(*table)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		runExt(ex)
-		return
+	if *budget == 0 {
+		*budget = runtime.GOMAXPROCS(0)
 	}
-	if *suite == "paper" || *suite == "all" {
-		for _, ex := range bench.Tables() {
-			runPaper(ex)
+	so := sweep.Options{
+		Jobs:         *jobs,
+		Budget:       *budget,
+		FixedWorkers: *workers,
+		Checkpoint:   *checkpoint,
+		Resume:       *resume,
+		StopAfter:    *stopAfter,
+	}
+	if *progress {
+		so.Sink = obs.NewSweepProgress(os.Stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, err := sweep.Run(ctx, jobList, opt, so)
+	wall := time.Since(start)
+	switch {
+	case errors.Is(err, sweep.ErrStopped):
+		fmt.Fprintf(os.Stderr, "tables: stopped after %d cells (checkpoint %s); rerun with -resume\n",
+			*stopAfter, *checkpoint)
+		os.Exit(3)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "tables: interrupted; rerun with -resume to continue")
+		os.Exit(1)
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+
+	printResults(results)
+	fmt.Fprintf(os.Stderr, "tables: %d cells in %s\n", len(results), wall.Round(time.Millisecond))
+
+	if *benchOut != "" {
+		cached := 0
+		for _, r := range results {
+			if r.Cached {
+				cached++
+			}
+		}
+		rec := bench.SweepBenchRun{
+			Label: *benchLabel, Date: time.Now().UTC().Format("2006-01-02"),
+			Suite: *suite, Table: *table, MaxN: *maxN,
+			Jobs: so.Jobs, Budget: so.Budget, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Engine: *engine, Cells: len(results), Cached: cached,
+			WallSec: wall.Seconds(), BuildID: sweep.BuildID(),
+		}
+		if err := bench.AppendSweepBench(*benchOut, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: bench record: %v\n", err)
+			os.Exit(1)
 		}
 	}
-	if *suite == "extended" || *suite == "all" {
-		for _, ex := range bench.ExtendedSuite() {
-			runExt(ex)
+}
+
+// printResults renders the merged results in canonical order: one Format
+// block per experiment, rows grouped exactly as the sequential loop printed
+// them. Results arrive indexed by Seq, so the grouping is a single pass.
+func printResults(results []sweep.Result) {
+	for i := 0; i < len(results); {
+		j := i
+		for j < len(results) && results[j].Job.Exp == results[i].Job.Exp {
+			j++
 		}
+		rows := make([]bench.Row, 0, j-i)
+		for _, r := range results[i:j] {
+			rows = append(rows, r.Row)
+		}
+		switch results[i].Job.Suite {
+		case sweep.SuitePaper:
+			ex, err := bench.FindTable(results[i].Job.Exp)
+			if err == nil {
+				fmt.Print(ex.Format(rows))
+			}
+		case sweep.SuiteExtended:
+			ex, err := bench.FindExtended(results[i].Job.Exp)
+			if err == nil {
+				fmt.Print(ex.Format(rows))
+			}
+		}
+		fmt.Println()
+		i = j
 	}
 }

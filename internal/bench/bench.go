@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -82,6 +83,15 @@ type Options struct {
 	// Engine selects the simulation model: "buffered" (default, the paper's
 	// node model) or "atomic" (the Section 2 reference model).
 	Engine string
+}
+
+// Filled returns the options with unset fields replaced by the paper's
+// defaults — the exported form of the fill step, for callers (the sweep
+// orchestrator) that need the effective values for cost estimates and
+// checkpoint fingerprints.
+func (o Options) Filled() Options {
+	o.fill()
+	return o
 }
 
 func (o *Options) fill() {
@@ -211,8 +221,28 @@ func (ex Experiment) Dims() []int {
 	return out
 }
 
+// Cell returns orchestration facts about the cell at the given dimension:
+// its node count and whether the cell may be simulated with Workers > 1
+// without changing its results (credited algorithms tie-break differently
+// across worker counts; the atomic engine ignores Workers entirely, so
+// granting it more would only waste budget).
+func (ex Experiment) Cell(dims int, opt Options) (nodes int, parallelizable bool, err error) {
+	opt.fill()
+	a, err := algorithm(dims, opt)
+	if err != nil {
+		return 0, false, err
+	}
+	return a.Topology().Nodes(), !a.Props().Credits && opt.Engine != "atomic", nil
+}
+
 // Run executes one row of the experiment at the given hypercube dimension.
 func (ex Experiment) Run(dims int, opt Options) (Row, error) {
+	return ex.RunCtx(nil, dims, opt)
+}
+
+// RunCtx is Run with cancellation: the simulation stops within one cycle of
+// ctx being canceled and the cell returns ctx's error.
+func (ex Experiment) RunCtx(ctx context.Context, dims int, opt Options) (Row, error) {
 	opt.fill()
 	algo, err := algorithm(dims, opt)
 	if err != nil {
@@ -247,7 +277,7 @@ func (ex Experiment) Run(dims int, opt Options) (Row, error) {
 	default:
 		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}
-	res, err := eng.Run(nil, src, plan)
+	res, err := eng.Run(ctx, src, plan)
 	if err != nil {
 		return Row{}, err
 	}

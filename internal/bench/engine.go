@@ -24,17 +24,26 @@ import (
 
 // EngineBenchConfig selects the grid the engine benchmark sweeps.
 type EngineBenchConfig struct {
-	Dims    []int // hypercube dimensions (default 8, 10, 12)
-	Workers []int // worker counts (default 1 and NumCPU, deduplicated)
-	Warmup  int64 // warmup cycles per run (default 100)
-	Measure int64 // measured cycles per run (default 400)
-	Seed    int64 // simulation seed (default 1)
-	Repeat  int   // timed repetitions per cell; the fastest is kept (default 3)
+	Dims    []int  // hypercube dimensions (default 8, 10, 12)
+	Workers []int  // worker counts (default 1 and NumCPU, deduplicated)
+	Warmup  int64  // warmup cycles per run (default 100)
+	Measure int64  // measured cycles per run (default 400)
+	Seed    int64  // simulation seed (default 1)
+	Repeat  int    // timed repetitions per cell; the fastest is kept (default 3)
+	Engine  string // simulation model: "buffered" (default) or "atomic"
 }
 
 func (c *EngineBenchConfig) fill() {
 	if len(c.Dims) == 0 {
 		c.Dims = []int{8, 10, 12}
+	}
+	if c.Engine == "" {
+		c.Engine = "buffered"
+	}
+	if c.Engine == "atomic" {
+		// Atomic semantics are inherently sequential; extra worker cells
+		// would just duplicate the workers=1 measurement.
+		c.Workers = []int{1}
 	}
 	if len(c.Workers) == 0 {
 		c.Workers = []int{1, runtime.NumCPU()}
@@ -67,6 +76,9 @@ func (c *EngineBenchConfig) fill() {
 // metrics core enabled (Config.Metrics, no observer) — so the trajectory
 // tracks the instrumentation overhead across revisions.
 type EngineBenchResult struct {
+	// Engine is the simulation model the cell timed; empty in runs recorded
+	// before the benchmark covered the atomic engine (implying "buffered").
+	Engine       string  `json:"engine,omitempty"`
 	Dims         int     `json:"dims"`
 	Nodes        int     `json:"nodes"`
 	Workers      int     `json:"workers"`
@@ -127,7 +139,7 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 		for _, workers := range cfg.Workers {
 			res, err := engineBenchCell(dims, workers, cfg)
 			if err != nil {
-				return run, fmt.Errorf("bench: dims=%d workers=%d: %w", dims, workers, err)
+				return run, fmt.Errorf("bench: engine=%s dims=%d workers=%d: %w", cfg.Engine, dims, workers, err)
 			}
 			run.Results = append(run.Results, res)
 		}
@@ -141,9 +153,9 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 // again with the metrics core enabled to record instrumentation overhead.
 func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResult, error) {
 	nodes := 1 << dims
-	best := EngineBenchResult{Dims: dims, Nodes: nodes, Workers: workers}
+	best := EngineBenchResult{Engine: cfg.Engine, Dims: dims, Nodes: nodes, Workers: workers}
 	for _, withObs := range []bool{false, true} {
-		eng, err := sim.NewSimulator("buffered", sim.Config{
+		eng, err := sim.NewSimulator(cfg.Engine, sim.Config{
 			Algorithm: core.NewHypercubeAdaptive(dims),
 			Seed:      cfg.Seed,
 			Workers:   workers,
@@ -221,26 +233,90 @@ func AppendEngineBench(path string, run EngineBenchRun) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// engineOf normalizes the engine name of a recorded cell: cells from before
+// the benchmark covered the atomic engine carry no name and mean "buffered".
+func engineOf(r *EngineBenchResult) string {
+	if r.Engine == "" {
+		return "buffered"
+	}
+	return r.Engine
+}
+
+// matchCell returns the cell of run with the same (engine, dims, workers)
+// coordinates as r, or nil.
+func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
+	for i := range run.Results {
+		b := &run.Results[i]
+		if engineOf(b) == engineOf(r) && b.Dims == r.Dims && b.Workers == r.Workers {
+			return b
+		}
+	}
+	return nil
+}
+
 // FormatEngineBench renders a run as an aligned table, with per-cell
 // speedups against a baseline run when one is supplied.
 func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
 	s := fmt.Sprintf("engine bench %q (%s, ncpu=%d)\n", run.Label, run.Date, run.NumCPU)
-	s += " dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
+	s += "   engine dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
 	if baseline != nil {
 		s += " | vs " + baseline.Label
 	}
 	s += "\n"
-	for _, r := range run.Results {
-		s += fmt.Sprintf("   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%", r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
+	for i := range run.Results {
+		r := &run.Results[i]
+		s += fmt.Sprintf(" %8s   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%",
+			engineOf(r), r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
 		if baseline != nil {
-			for _, b := range baseline.Results {
-				if b.Dims == r.Dims && b.Workers == r.Workers && b.CyclesPerSec > 0 {
-					s += fmt.Sprintf(" | %5.2fx", r.CyclesPerSec/b.CyclesPerSec)
-					break
-				}
+			if b := matchCell(baseline, r); b != nil && b.CyclesPerSec > 0 {
+				s += fmt.Sprintf(" | %5.2fx", r.CyclesPerSec/b.CyclesPerSec)
 			}
 		}
 		s += "\n"
 	}
 	return s
+}
+
+// EngineBenchRegression is one cell of a trajectory comparison whose
+// throughput fell below the tolerated fraction of the baseline.
+type EngineBenchRegression struct {
+	Engine       string
+	Dims         int
+	Workers      int
+	BaselineCPS  float64
+	CurrentCPS   float64
+	RelativeLoss float64 // fraction of baseline throughput lost (0.10 = -10%)
+}
+
+func (r EngineBenchRegression) String() string {
+	return fmt.Sprintf("%s dims=%d workers=%d: %.1f -> %.1f cycles/s (%.1f%% regression)",
+		r.Engine, r.Dims, r.Workers, r.BaselineCPS, r.CurrentCPS, 100*r.RelativeLoss)
+}
+
+// CompareEngineBench compares the matching cells of two runs and returns the
+// cells of cur that regressed by more than tolerance (a fraction: 0.10
+// tolerates a 10% slowdown). Cells without a matching baseline coordinate
+// are skipped; the comparison gates the CI "sequential path unchanged"
+// criterion, so only cycles/s (not the noisier obs pair) is judged.
+func CompareEngineBench(base, cur EngineBenchRun, tolerance float64) []EngineBenchRegression {
+	var regs []EngineBenchRegression
+	for i := range cur.Results {
+		r := &cur.Results[i]
+		b := matchCell(&base, r)
+		if b == nil || b.CyclesPerSec <= 0 || r.CyclesPerSec <= 0 {
+			continue
+		}
+		loss := (b.CyclesPerSec - r.CyclesPerSec) / b.CyclesPerSec
+		if loss > tolerance {
+			regs = append(regs, EngineBenchRegression{
+				Engine:       engineOf(r),
+				Dims:         r.Dims,
+				Workers:      r.Workers,
+				BaselineCPS:  b.CyclesPerSec,
+				CurrentCPS:   r.CyclesPerSec,
+				RelativeLoss: loss,
+			})
+		}
+	}
+	return regs
 }

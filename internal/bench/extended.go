@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -104,8 +105,29 @@ func FindExtended(id string) (Extended, error) {
 	return Extended{}, fmt.Errorf("bench: unknown extended experiment %q", id)
 }
 
+// Cell returns orchestration facts about the cell at the given size; see
+// (Experiment).Cell.
+func (ex Extended) Cell(size int, opt Options) (nodes int, parallelizable bool, err error) {
+	opt.fill()
+	a := ex.Algo(size)
+	return a.Topology().Nodes(), !a.Props().Credits && opt.Engine != "atomic", nil
+}
+
+// PacketsPerNode returns the static-N injection count for the size.
+func (ex Extended) PacketsPerNode(size int) int {
+	if ex.PerNode != nil {
+		return ex.PerNode(size)
+	}
+	return size
+}
+
 // Run executes one row of the extended experiment.
 func (ex Extended) Run(size int, opt Options) (Row, error) {
+	return ex.RunCtx(nil, size, opt)
+}
+
+// RunCtx is Run with cancellation; see (Experiment).RunCtx.
+func (ex Extended) RunCtx(ctx context.Context, size int, opt Options) (Row, error) {
 	opt.fill()
 	algo := ex.Algo(size)
 	pat := ex.Pattern(algo, size, opt.Seed+1)
@@ -126,18 +148,14 @@ func (ex Extended) Run(size int, opt Options) (Row, error) {
 	case Static1:
 		src = traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
 	case StaticN:
-		per := size
-		if ex.PerNode != nil {
-			per = ex.PerNode(size)
-		}
-		src = traffic.NewStaticSource(pat, nodes, per, opt.Seed+2)
+		src = traffic.NewStaticSource(pat, nodes, ex.PacketsPerNode(size), opt.Seed+2)
 	case Dynamic:
 		src = traffic.NewBernoulliSource(pat, nodes, ex.Lambda, opt.Seed+2)
 		plan = sim.DynamicPlan(opt.Warmup, opt.Measure)
 	default:
 		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}
-	res, err := eng.Run(nil, src, plan)
+	res, err := eng.Run(ctx, src, plan)
 	if err != nil {
 		return Row{}, err
 	}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SweepBenchRun records one wall-clock measurement of a tables sweep: the
+// before/after evidence for the orchestrator's speedup claims. Unlike
+// EngineBenchRun this measures the whole end-to-end reproduction (job
+// scheduling, worker splitting, checkpoint I/O included), so runs are only
+// comparable at equal suite/table/maxn/engine and on the same host.
+type SweepBenchRun struct {
+	Label      string  `json:"label"`
+	Date       string  `json:"date"`
+	Suite      string  `json:"suite"`
+	Table      string  `json:"table,omitempty"`
+	MaxN       int     `json:"maxn"`
+	Jobs       int     `json:"jobs"`
+	Budget     int     `json:"budget"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Engine     string  `json:"engine"`
+	Cells      int     `json:"cells"`
+	Cached     int     `json:"cached,omitempty"`
+	WallSec    float64 `json:"wall_sec"`
+	BuildID    string  `json:"build_id,omitempty"`
+	Notes      string  `json:"notes,omitempty"`
+}
+
+// SweepBenchFile is the BENCH_sweep.json trajectory: one record per
+// measured sweep configuration, appended across revisions.
+type SweepBenchFile struct {
+	Benchmark string          `json:"benchmark"`
+	Runs      []SweepBenchRun `json:"runs"`
+}
+
+const sweepBenchWorkload = "cmd/tables full-sweep wall clock (internal/sweep orchestrator)"
+
+// LoadSweepBench reads a sweep trajectory file; a missing file yields an
+// empty trajectory so the first run bootstraps it.
+func LoadSweepBench(path string) (SweepBenchFile, error) {
+	f := SweepBenchFile{Benchmark: sweepBenchWorkload}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, nil
+	}
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// AppendSweepBench appends run to the trajectory at path, replacing any
+// existing run with the same label.
+func AppendSweepBench(path string, run SweepBenchRun) error {
+	f, err := LoadSweepBench(path)
+	if err != nil {
+		return err
+	}
+	f.Benchmark = sweepBenchWorkload
+	replaced := false
+	for i := range f.Runs {
+		if f.Runs[i].Label == run.Label {
+			f.Runs[i] = run
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		f.Runs = append(f.Runs, run)
+	}
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

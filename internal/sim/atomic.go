@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/queue"
 	"repro/internal/topology"
 	"repro/internal/xrand"
 )
@@ -30,12 +29,25 @@ type AtomicEngine struct {
 	classes int
 	obsState
 
-	queues []*queue.FIFO[core.Packet]
+	// Central queues live in one flat slab, mirroring the buffered
+	// engine's layout: queue qi = node*classes+class occupies
+	// qbuf[qi*queueCap : (qi+1)*queueCap] as a ring with head qhead[qi]
+	// and length qlen[qi]. One slab instead of nodes*classes separate
+	// FIFO allocations keeps the per-cycle sweep over every queue on
+	// sequential memory.
+	qbuf     []core.Packet
+	qhead    []int32
+	qlen     []int32
+	queueCap int
+
 	injQ   []injSlot
 	rngs   []xrand.RNG
 	nextID []int64
-	active []bool
-	headID []int64 // per-queue head snapshot: one move per packet per cycle
+	// actBits marks nodes whose traffic source may still inject (bit u of
+	// word u/64), replacing a []bool sweep over all nodes: the injection
+	// loop iterates set bits only, so drained sources cost nothing.
+	actBits []uint64
+	headID  []int64 // per-queue head snapshot: one move per packet per cycle
 
 	// flt is the fault-injection machinery; nil without Config.Faults.
 	flt *faultState
@@ -79,15 +91,16 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 		nodes:   t.Nodes(),
 		classes: a.NumClasses(),
 	}
-	e.queues = make([]*queue.FIFO[core.Packet], e.nodes*e.classes)
-	for i := range e.queues {
-		e.queues[i] = queue.New[core.Packet](cfg.QueueCap)
-	}
+	nQueues := e.nodes * e.classes
+	e.queueCap = cfg.QueueCap
+	e.qbuf = make([]core.Packet, nQueues*e.queueCap)
+	e.qhead = make([]int32, nQueues)
+	e.qlen = make([]int32, nQueues)
 	e.injQ = make([]injSlot, e.nodes)
 	e.rngs = make([]xrand.RNG, e.nodes)
 	e.nextID = make([]int64, e.nodes)
-	e.active = make([]bool, e.nodes)
-	e.headID = make([]int64, len(e.queues))
+	e.actBits = make([]uint64, (e.nodes+63)/64)
+	e.headID = make([]int64, nQueues)
 	if !cfg.Faults.Empty() {
 		if t.Ports() > 32 {
 			return nil, fmt.Errorf("sim: fault injection supports at most 32 ports per node, %s has %d", t.Name(), t.Ports())
@@ -104,14 +117,20 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 }
 
 func (e *AtomicEngine) reset() {
-	for _, q := range e.queues {
-		q.Clear()
+	for i := range e.qlen {
+		e.qlen[i] = 0
+		e.qhead[i] = 0
 	}
 	for u := 0; u < e.nodes; u++ {
 		e.injQ[u] = injSlot{}
 		e.rngs[u] = xrand.New(e.cfg.Seed, int32(u))
 		e.nextID[u] = int64(u) << 36
-		e.active[u] = true
+	}
+	for i := range e.actBits {
+		e.actBits[i] = ^uint64(0)
+	}
+	if tail := uint(e.nodes) & 63; tail != 0 {
+		e.actBits[len(e.actBits)-1] = (uint64(1) << tail) - 1
 	}
 	if e.flt != nil {
 		e.flt.reset()
@@ -121,8 +140,49 @@ func (e *AtomicEngine) reset() {
 	}
 }
 
-func (e *AtomicEngine) queueAt(node int32, class core.QueueClass) *queue.FIFO[core.Packet] {
-	return e.queues[int(node)*e.classes+int(class)]
+func (e *AtomicEngine) queueIndex(node int32, class core.QueueClass) int {
+	return int(node)*e.classes + int(class)
+}
+
+// qAt returns the i-th packet (FIFO order) of queue qi, in place.
+func (e *AtomicEngine) qAt(qi int, i int32) *core.Packet {
+	pos := e.qhead[qi] + i
+	if pos >= int32(e.queueCap) {
+		pos -= int32(e.queueCap)
+	}
+	return &e.qbuf[qi*e.queueCap+int(pos)]
+}
+
+// qPush appends the packet to queue qi and returns the new length.
+func (e *AtomicEngine) qPush(qi int, pkt *core.Packet) int {
+	n := e.qlen[qi]
+	if int(n) == e.queueCap {
+		panic("sim: push into a full queue (admissibility bug)")
+	}
+	pos := e.qhead[qi] + n
+	if pos >= int32(e.queueCap) {
+		pos -= int32(e.queueCap)
+	}
+	e.qbuf[qi*e.queueCap+int(pos)] = *pkt
+	e.qlen[qi] = n + 1
+	return int(n + 1)
+}
+
+// qPop removes and returns the head packet of queue qi.
+func (e *AtomicEngine) qPop(qi int) core.Packet {
+	pkt := *e.qAt(qi, 0)
+	head := e.qhead[qi] + 1
+	if head >= int32(e.queueCap) {
+		head -= int32(e.queueCap)
+	}
+	e.qhead[qi] = head
+	e.qlen[qi]--
+	return pkt
+}
+
+// qFree returns the free capacity of queue qi.
+func (e *AtomicEngine) qFree(qi int) int {
+	return e.queueCap - int(e.qlen[qi])
 }
 
 // RunStatic simulates until the finite traffic of src has drained.
@@ -208,80 +268,81 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		e.applyFaultsAtomic(cycle, st)
 	}
 
-	// Injection attempts.
-	for u := int32(0); int(u) < e.nodes; u++ {
-		if !e.active[u] {
-			continue
-		}
-		if src.Exhausted(u) {
-			e.active[u] = false
-			continue
-		}
-		if f != nil {
-			if !f.live.NodeAlive(int(u)) {
+	// Injection attempts, over nodes whose source may still inject.
+	for wi := range e.actBits {
+		for word := e.actBits[wi]; word != 0; word &= word - 1 {
+			b := bits.TrailingZeros64(word)
+			u := int32(wi<<6 + b)
+			if src.Exhausted(u) {
+				e.actBits[wi] &^= 1 << uint(b)
 				continue
-			}
-			if cycle < f.injNext[u] {
-				if e.obsOn {
-					st.obs.Inc(obs.CInjRetries)
-				}
-				continue
-			}
-		}
-		if !src.Wants(u, cycle) {
-			continue
-		}
-		if win.contains(cycle) {
-			st.attempts++
-		}
-		if e.obsOn {
-			st.obs.Inc(obs.CInjAttempts)
-		}
-		if e.injQ[u].full {
-			if e.obsOn {
-				st.obs.Inc(obs.CInjBackpressure)
 			}
 			if f != nil {
-				f.backoff(u, cycle)
-			}
-			continue
-		}
-		dst := src.Take(u, cycle)
-		if f != nil {
-			f.injFail[u] = 0
-			if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
-				e.nextID[u]++
-				st.injected++
-				if win.contains(cycle) {
-					st.successes++
+				if !f.live.NodeAlive(int(u)) {
+					continue
 				}
-				pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
-				e.dropAtomic(&pkt, cycle, st)
+				if cycle < f.injNext[u] {
+					if e.obsOn {
+						st.obs.Inc(obs.CInjRetries)
+					}
+					continue
+				}
+			}
+			if !src.Wants(u, cycle) {
 				continue
 			}
-		}
-		class, work := e.algo.Inject(u, dst)
-		e.nextID[u]++
-		e.injQ[u] = injSlot{
-			pkt: core.Packet{
-				ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
-				Class: class, MinFree: 1, Work: work,
-			},
-			full: true,
-		}
-		st.injected++
-		if win.contains(cycle) {
-			st.successes++
+			if win.contains(cycle) {
+				st.attempts++
+			}
+			if e.obsOn {
+				st.obs.Inc(obs.CInjAttempts)
+			}
+			if e.injQ[u].full {
+				if e.obsOn {
+					st.obs.Inc(obs.CInjBackpressure)
+				}
+				if f != nil {
+					f.backoff(u, cycle)
+				}
+				continue
+			}
+			dst := src.Take(u, cycle)
+			if f != nil {
+				f.injFail[u] = 0
+				if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
+					e.nextID[u]++
+					st.injected++
+					if win.contains(cycle) {
+						st.successes++
+					}
+					pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
+					e.dropAtomic(&pkt, cycle, st)
+					continue
+				}
+			}
+			class, work := e.algo.Inject(u, dst)
+			e.nextID[u]++
+			e.injQ[u] = injSlot{
+				pkt: core.Packet{
+					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+					Class: class, MinFree: 1, Work: work,
+				},
+				full: true,
+			}
+			st.injected++
+			if win.contains(cycle) {
+				st.successes++
+			}
 		}
 	}
 
 	// Snapshot the head of every queue: a packet may advance at most
 	// once per cycle, even if it lands in a queue processed later.
-	for i, q := range e.queues {
-		if q.Empty() {
-			e.headID[i] = 0
+	for qi := range e.qlen {
+		if e.qlen[qi] == 0 {
+			e.headID[qi] = 0
 		} else {
-			e.headID[i] = q.At(0).ID
+			e.headID[qi] = e.qAt(qi, 0).ID
 		}
 	}
 
@@ -296,16 +357,16 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 			sl.full = false
 			continue
 		}
-		q := e.queueAt(u, sl.pkt.Class)
-		if q.Free() >= 1 {
+		qi := e.queueIndex(u, sl.pkt.Class)
+		if e.qFree(qi) >= 1 {
 			sl.pkt.InjectedAt = cycle // latency runs from network entry
-			q.Push(sl.pkt)
-			if l := q.Len(); l > st.maxQueue {
+			l := e.qPush(qi, &sl.pkt)
+			if l > st.maxQueue {
 				st.maxQueue = l
 			}
 			if e.obsOn {
 				st.obs.GaugeAdd(obs.GQueueOccupancy, 1)
-				st.obs.Observe(obs.HQueueLen, int64(q.Len()))
+				st.obs.Observe(obs.HQueueLen, int64(l))
 			}
 			sl.full = false
 			st.moves++
@@ -317,11 +378,10 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		r := &e.rngs[u]
 		for c := 0; c < e.classes; c++ {
 			qi := int(u)*e.classes + c
-			q := e.queues[qi]
-			if q.Empty() || q.At(0).ID != e.headID[qi] {
+			if e.qlen[qi] == 0 || e.qAt(qi, 0).ID != e.headID[qi] {
 				continue
 			}
-			pkt := q.At(0)
+			pkt := *e.qAt(qi, 0)
 			moves := e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, rs.cand[:0])
 			if f != nil {
 				moves = f.filterLiveMoves(u, moves)
@@ -356,30 +416,30 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 			}
 			switch {
 			case mv.Deliver:
-				pkt, _ = q.Pop()
+				pkt = e.qPop(qi)
 				if e.obsOn {
 					st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
 				}
 				e.deliverAtomic(pkt, cycle, win, st)
 			case mv.Node == u && mv.Class == core.QueueClass(c) && mv.Port == core.PortInternal:
 				pkt.Work = mv.Work
-				q.Set(0, pkt)
+				*e.qAt(qi, 0) = pkt
 				st.moves++
 			default:
-				pkt, _ = q.Pop()
+				pkt = e.qPop(qi)
 				if mv.Port != core.PortInternal {
 					pkt.Hops++
 				}
 				pkt.Class = mv.Class
 				pkt.Work = mv.Work
-				q2 := e.queueAt(mv.Node, mv.Class)
-				q2.Push(pkt)
-				if l := q2.Len(); l > st.maxQueue {
+				qi2 := e.queueIndex(mv.Node, mv.Class)
+				l := e.qPush(qi2, &pkt)
+				if l > st.maxQueue {
 					st.maxQueue = l
 				}
 				if e.obsOn {
 					// Pop and push cancel in the occupancy gauge.
-					st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
+					st.obs.Observe(obs.HQueueLen, int64(l))
 					if mv.Port != core.PortInternal {
 						st.obs.Inc(obs.CLinkTransfers)
 					}
@@ -458,12 +518,11 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 
 // headAt exposes queue heads to the deadlock-dump builder.
 func (e *AtomicEngine) headAt(u, c int) (*core.Packet, int) {
-	q := e.queues[u*e.classes+c]
-	if q.Empty() {
+	qi := u*e.classes + c
+	if e.qlen[qi] == 0 {
 		return nil, 0
 	}
-	pkt := q.At(0)
-	return &pkt, q.Len()
+	return e.qAt(qi, 0), int(e.qlen[qi])
 }
 
 // applyFaultsAtomic replays the schedule events due at or before cycle.
@@ -498,13 +557,13 @@ func (e *AtomicEngine) applyFaultsAtomic(cycle int64, st *cycleStats) {
 // routing and misrouting consult livePorts, which excludes dead endpoints.
 func (e *AtomicEngine) purgeNodeAtomic(u int32, cycle int64, st *cycleStats) {
 	for c := 0; c < e.classes; c++ {
-		q := e.queueAt(u, core.QueueClass(c))
-		n := q.Len()
+		qi := e.queueIndex(u, core.QueueClass(c))
+		n := int(e.qlen[qi])
 		for i := 0; i < n; i++ {
-			pkt := q.At(i)
-			e.dropAtomic(&pkt, cycle, st)
+			e.dropAtomic(e.qAt(qi, int32(i)), cycle, st)
 		}
-		q.Clear()
+		e.qlen[qi] = 0
+		e.qhead[qi] = 0
 		if e.obsOn && n > 0 {
 			st.obs.GaugeAdd(obs.GQueueOccupancy, -int64(n))
 		}
@@ -530,11 +589,10 @@ func (e *AtomicEngine) dropAtomic(pkt *core.Packet, cycle int64, st *cycleStats)
 // misroute flag set) or is dropped once its hop budget runs out.
 func (e *AtomicEngine) misrouteAtomic(u int32, qi int, cycle int64, st *cycleStats) {
 	f := e.flt
-	q := e.queues[qi]
-	pkt := q.At(0)
+	pkt := *e.qAt(qi, 0)
 	lp := f.livePorts[u]
 	if lp == 0 || pkt.HopCount() >= e.algo.MaxHops(pkt.Src, pkt.Dst)+f.hopBudget {
-		dropped, _ := q.Pop()
+		dropped := e.qPop(qi)
 		if e.obsOn {
 			st.obs.GaugeAdd(obs.GQueueOccupancy, -1)
 		}
@@ -554,21 +612,21 @@ func (e *AtomicEngine) misrouteAtomic(u int32, qi int, cycle int64, st *cycleSta
 			p := bits.TrailingZeros32(mk)
 			v := int32(e.topo.Neighbor(int(u), p))
 			class, work := e.algo.Inject(v, pkt.Dst)
-			q2 := e.queueAt(v, class)
-			if q2.Free() < 1 {
+			qi2 := e.queueIndex(v, class)
+			if e.qFree(qi2) < 1 {
 				continue
 			}
-			pkt, _ = q.Pop()
+			pkt = e.qPop(qi)
 			pkt.Hops++
 			pkt.MarkMisrouted()
 			pkt.Class = class
 			pkt.Work = work
-			q2.Push(pkt)
-			if l := q2.Len(); l > st.maxQueue {
+			l := e.qPush(qi2, &pkt)
+			if l > st.maxQueue {
 				st.maxQueue = l
 			}
 			if e.obsOn {
-				st.obs.Observe(obs.HQueueLen, int64(q2.Len()))
+				st.obs.Observe(obs.HQueueLen, int64(l))
 				st.obs.Inc(obs.CLinkTransfers)
 				st.obs.Inc(obs.CMisrouted)
 			}
@@ -582,12 +640,13 @@ func (e *AtomicEngine) misrouteAtomic(u int32, qi int, cycle int64, st *cycleSta
 }
 
 func (e *AtomicEngine) allExhausted(src TrafficSource) bool {
-	for u := 0; u < e.nodes; u++ {
-		if e.active[u] {
-			if !src.Exhausted(int32(u)) {
+	for wi := range e.actBits {
+		for word := e.actBits[wi]; word != 0; word &= word - 1 {
+			b := bits.TrailingZeros64(word)
+			if !src.Exhausted(int32(wi<<6 + b)) {
 				return false
 			}
-			e.active[u] = false
+			e.actBits[wi] &^= 1 << uint(b)
 		}
 	}
 	return true
@@ -609,7 +668,7 @@ func (e *AtomicEngine) admissible(u int32, class core.QueueClass, mv core.Move) 
 		if int(mv.Credit) > required {
 			required = int(mv.Credit)
 		}
-		return e.queueAt(mv.Node, mv.Class).Free() >= required
+		return e.qFree(e.queueIndex(mv.Node, mv.Class)) >= required
 	}
 }
 

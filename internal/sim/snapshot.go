@@ -30,8 +30,10 @@ func (e *Engine) Snapshot(f func(QueueSnapshot)) {
 func (e *AtomicEngine) Snapshot(f func(QueueSnapshot)) {
 	for u := 0; u < e.nodes; u++ {
 		for c := 0; c < e.classes; c++ {
-			q := e.queueAt(int32(u), core.QueueClass(c))
-			f(QueueSnapshot{Node: int32(u), Class: core.QueueClass(c), Len: q.Len(), Cap: q.Cap()})
+			f(QueueSnapshot{
+				Node: int32(u), Class: core.QueueClass(c),
+				Len: int(e.qlen[u*e.classes+c]), Cap: e.queueCap,
+			})
 		}
 	}
 }
@@ -62,8 +64,8 @@ func (e *Engine) InNetwork() int {
 // InNetwork counts the packets currently inside the atomic engine.
 func (e *AtomicEngine) InNetwork() int {
 	total := 0
-	for _, q := range e.queues {
-		total += q.Len()
+	for _, l := range e.qlen {
+		total += int(l)
 	}
 	for i := range e.injQ {
 		if e.injQ[i].full {

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/bench"
+)
+
+// entryVersion is bumped whenever the journal schema or the fingerprint
+// recipe changes; entries with another version are ignored on resume.
+const entryVersion = 1
+
+// Entry is one journaled cell result: the checkpoint unit of a sweep. A
+// sweep appends one line per completed cell, so a killed run resumes by
+// replaying the journal and skipping every cell whose fingerprint matches.
+type Entry struct {
+	V          int       `json:"v"`
+	FP         string    `json:"fp"`
+	Job        string    `json:"job"`
+	Seq        int       `json:"seq"`
+	ElapsedSec float64   `json:"elapsed_sec"`
+	Row        bench.Row `json:"row"`
+}
+
+// Fingerprint keys a journaled cell by everything that determines its rows:
+// the cell identity, every result-affecting option (seed, queue capacity,
+// policy, warmup/measure window, algorithm variant, engine), and the build
+// identity — so a checkpoint written by a different configuration or binary
+// is ignored rather than silently reused. Workers is deliberately excluded:
+// engine results are bit-deterministic across worker counts (the scheduler
+// varies Workers per cell without invalidating checkpoints).
+func Fingerprint(job Job, opt bench.Options, buildID string) string {
+	opt = opt.Filled()
+	s := fmt.Sprintf("v%d|job=%s|suite=%s|exp=%s|size=%d|seed=%d|cap=%d|policy=%d|warmup=%d|measure=%d|algo=%s|engine=%s|build=%s",
+		entryVersion, job.ID, job.Suite, job.Exp, job.Size,
+		opt.Seed, opt.QueueCap, opt.Policy, opt.Warmup, opt.Measure,
+		opt.Algorithm, engineName(opt.Engine), buildID)
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:8])
+}
+
+// engineName normalizes the engine selector ("" means buffered).
+func engineName(engine string) string {
+	if engine == "" {
+		return "buffered"
+	}
+	return engine
+}
+
+// BuildID identifies the running binary for checkpoint fingerprints: the
+// embedded VCS revision (suffixed "+dirty" for modified trees), or "dev"
+// when the binary carries no VCS metadata (go test, go run of a non-VCS
+// tree). Rebuilding at a different revision therefore invalidates
+// checkpoints instead of resuming across code changes.
+func BuildID() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified == "true" {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Journal appends completed cells to a JSONL checkpoint file. Appends are
+// serialized and each entry is written with a single Write followed by
+// Sync, so a kill leaves at most one partial trailing line — which
+// LoadJournal skips.
+type Journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens the checkpoint at path for appending. With resume
+// false the file is truncated (a fresh sweep starts a fresh journal);
+// with resume true existing entries are preserved and new cells append.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append journals one completed cell.
+func (j *Journal) Append(e Entry) error {
+	e.V = entryVersion
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("sweep: checkpoint append: %w", err)
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// LoadJournal reads a checkpoint and returns its entries keyed by
+// fingerprint (last entry wins on duplicates). A missing file yields an
+// empty map; malformed lines — including the partial trailing line a kill
+// mid-append can leave — and entries of another schema version are skipped,
+// never trusted.
+func LoadJournal(path string) (map[string]Entry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]Entry{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	defer f.Close()
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			continue // partial or corrupt line: ignore, re-run the cell
+		}
+		if e.V != entryVersion || e.FP == "" {
+			continue
+		}
+		out[e.FP] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func testJob() Job {
+	return Job{ID: "table9/n10", Suite: SuitePaper, Exp: "table9", Size: 10, Seq: 0}
+}
+
+// The fingerprint must change with everything that changes the rows — and
+// with nothing else. Workers is the deliberate exception: results are
+// worker-invariant, so the scheduler may vary it freely across resumes.
+func TestFingerprintInvalidation(t *testing.T) {
+	base := bench.Options{Seed: 1}.Filled()
+	fp := Fingerprint(testJob(), base, "build-a")
+
+	variants := map[string]func() string{
+		"seed": func() string {
+			o := base
+			o.Seed = 2
+			return Fingerprint(testJob(), o, "build-a")
+		},
+		"queue cap": func() string {
+			o := base
+			o.QueueCap = 7
+			return Fingerprint(testJob(), o, "build-a")
+		},
+		"warmup": func() string {
+			o := base
+			o.Warmup = 999
+			return Fingerprint(testJob(), o, "build-a")
+		},
+		"algorithm": func() string {
+			o := base
+			o.Algorithm = "ecube"
+			return Fingerprint(testJob(), o, "build-a")
+		},
+		"engine": func() string {
+			o := base
+			o.Engine = "atomic"
+			return Fingerprint(testJob(), o, "build-a")
+		},
+		"build": func() string {
+			return Fingerprint(testJob(), base, "build-b")
+		},
+		"job": func() string {
+			j := testJob()
+			j.ID, j.Size = "table9/n12", 12
+			return Fingerprint(j, base, "build-a")
+		},
+	}
+	for name, f := range variants {
+		if f() == fp {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+
+	same := base
+	same.Workers = 8
+	if Fingerprint(testJob(), same, "build-a") != fp {
+		t.Error("changing Workers changed the fingerprint; checkpoints must survive worker-count changes")
+	}
+	if Fingerprint(testJob(), base, "build-a") != fp {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := Entry{FP: "aa", Job: "table9/n10", Seq: 0, ElapsedSec: 1.5, Row: bench.Row{Dims: 10, Nodes: 1024, Lavg: 12.5}}
+	e2 := Entry{FP: "bb", Job: "table9/n12", Seq: 1, ElapsedSec: 9.25, Row: bench.Row{Dims: 12, Nodes: 4096, Lavg: 14.25}}
+	for _, e := range []Entry{e1, e2} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d entries, want 2", len(got))
+	}
+	if r := got["bb"].Row; r != e2.Row {
+		t.Fatalf("row mismatch: got %+v want %+v", r, e2.Row)
+	}
+}
+
+func TestJournalSkipsPartialTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{FP: "aa", Job: "a", Row: bench.Row{Dims: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a kill mid-append: a truncated JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":1,"fp":"bb","job":"tru`)
+	f.Close()
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d entries, want 1 (partial line must be skipped)", len(got))
+	}
+	if _, ok := got["aa"]; !ok {
+		t.Fatal("intact entry lost")
+	}
+}
+
+func TestJournalIgnoresOtherVersions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	os.WriteFile(path, []byte(`{"v":99,"fp":"aa","job":"a"}`+"\n"), 0o644)
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("loaded %d entries from a foreign schema version, want 0", len(got))
+	}
+}
+
+func TestLoadJournalMissingFile(t *testing.T) {
+	got, err := LoadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing file yielded %d entries", len(got))
+	}
+}
+
+func TestOpenJournalTruncatesWithoutResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	os.WriteFile(path, []byte("stale\n"), 0o644)
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, _ := os.ReadFile(path)
+	if len(data) != 0 {
+		t.Fatalf("fresh sweep did not truncate the stale journal: %q", data)
+	}
+}

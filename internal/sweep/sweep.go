@@ -1,0 +1,413 @@
+// Package sweep is the parallel orchestrator behind cmd/tables: it turns
+// the paper's evaluation (bench.Tables, bench.ExtendedSuite) into a flat
+// list of independent (experiment, size) cells with per-cell cost
+// estimates, schedules them longest-processing-time-first onto a bounded
+// slot pool that splits a global worker budget between concurrent cells
+// and per-simulation Workers, and journals every completed cell to a JSONL
+// checkpoint so a killed sweep resumes instead of restarting.
+//
+// Determinism: every cell is an independent, bit-deterministic simulation
+// whose results do not depend on the Workers count (credited algorithms,
+// the exception, are pinned to one worker), and merged results are ordered
+// by the cells' canonical sequence — so the sweep's output is bit-identical
+// regardless of the concurrency level, scheduling interleaving, or a
+// kill/resume cycle in the middle.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+)
+
+// Suite selectors accepted by BuildJobs, mirroring cmd/tables -suite.
+const (
+	SuitePaper    = "paper"
+	SuiteExtended = "extended"
+	SuiteAll      = "all"
+)
+
+// Job is one schedulable cell of a sweep: a single (experiment, size) row.
+type Job struct {
+	ID    string // "table9/n12", "ext-mesh-random-n/side16"
+	Suite string // SuitePaper or SuiteExtended
+	Exp   string // experiment id within the suite
+	Size  int    // hypercube dimension, or the topology's size parameter
+	Seq   int    // canonical output position (the sequential run's order)
+	Nodes int
+	// Cost estimates the cell's work in node-cycles: nodes x window for
+	// dynamic cells, total minimal hop work for static ones. It drives the
+	// LPT schedule, the worker split, and the progress ETA — only relative
+	// accuracy matters.
+	Cost float64
+	// Parallelizable cells may be granted Workers > 1: their results are
+	// invariant under the worker count and the engine honors it.
+	Parallelizable bool
+}
+
+// BuildJobs flattens the selected experiments into the sweep's job list, in
+// canonical (sequential-output) order. table, when non-empty, selects one
+// experiment by id and overrides suite; maxN bounds the hypercube dimension
+// of paper cells (0 = all) and is ignored for extended cells, matching the
+// sequential path.
+func BuildJobs(suite, table string, maxN int, opt bench.Options) ([]Job, error) {
+	opt = opt.Filled()
+	var paper []bench.Experiment
+	var ext []bench.Extended
+	switch {
+	case table != "":
+		if ex, err := bench.FindTable(table); err == nil {
+			paper = []bench.Experiment{ex}
+		} else if xe, err := bench.FindExtended(table); err == nil {
+			ext = []bench.Extended{xe}
+		} else {
+			return nil, fmt.Errorf("sweep: unknown experiment %q", table)
+		}
+	case suite == SuitePaper:
+		paper = bench.Tables()
+	case suite == SuiteExtended:
+		ext = bench.ExtendedSuite()
+	case suite == SuiteAll:
+		paper = bench.Tables()
+		ext = bench.ExtendedSuite()
+	default:
+		return nil, fmt.Errorf("sweep: unknown suite %q (want paper|extended|all)", suite)
+	}
+
+	var jobs []Job
+	for _, ex := range paper {
+		for _, d := range ex.Dims() {
+			if maxN > 0 && d > maxN {
+				continue
+			}
+			nodes, par, err := ex.Cell(d, opt)
+			if err != nil {
+				return nil, err
+			}
+			perNode := 1
+			if ex.Injection == bench.StaticN {
+				perNode = d
+			}
+			jobs = append(jobs, Job{
+				ID:    fmt.Sprintf("%s/n%d", ex.ID, d),
+				Suite: SuitePaper, Exp: ex.ID, Size: d, Seq: len(jobs),
+				Nodes:          nodes,
+				Cost:           cellCost(ex.Injection, nodes, perNode, d, opt),
+				Parallelizable: par,
+			})
+		}
+	}
+	for _, ex := range ext {
+		for _, s := range ex.Sizes {
+			nodes, par, err := ex.Cell(s, opt)
+			if err != nil {
+				return nil, err
+			}
+			perNode := 1
+			if ex.Injection == bench.StaticN {
+				perNode = ex.PacketsPerNode(s)
+			}
+			jobs = append(jobs, Job{
+				ID:    fmt.Sprintf("%s/%s%d", ex.ID, ex.SizeLabel, s),
+				Suite: SuiteExtended, Exp: ex.ID, Size: s, Seq: len(jobs),
+				Nodes:          nodes,
+				Cost:           cellCost(ex.Injection, nodes, perNode, 2*s, opt),
+				Parallelizable: par,
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// cellCost estimates a cell's work in node-cycles. Dynamic cells simulate
+// exactly warmup+measure cycles over all nodes; static cells drain, so
+// their work tracks the total minimal hop count (packets x diameter)
+// rather than the cycle count — calibrated against the recorded sequential
+// sweep, where the dynamic cells dominate by two orders of magnitude.
+func cellCost(inj bench.InjectionKind, nodes, perNode, diam int, opt bench.Options) float64 {
+	if inj == bench.Dynamic {
+		return float64(nodes) * float64(opt.Warmup+opt.Measure)
+	}
+	if diam < 1 {
+		diam = 1
+	}
+	return float64(nodes) * float64(perNode) * float64(diam)
+}
+
+// Result is one completed cell, in canonical order in Run's result slice.
+type Result struct {
+	Job        Job
+	Row        bench.Row
+	ElapsedSec float64
+	Cached     bool // satisfied from the resume checkpoint, not re-run
+}
+
+// ErrStopped reports that the sweep hit Options.StopAfter and exited early
+// on purpose; the checkpoint journal holds the completed cells.
+var ErrStopped = errors.New("sweep: stopped after requested number of cells")
+
+// Options tunes a sweep run. The zero value runs sequentially with no
+// checkpointing — the exact behavior of the old cmd/tables loop.
+type Options struct {
+	Jobs   int // concurrent cells (default 1)
+	Budget int // total worker budget across concurrent cells (default GOMAXPROCS)
+	// FixedWorkers forces every cell to this Workers value (the -workers
+	// flag); 0 lets the scheduler split Budget cost-aware per cell.
+	FixedWorkers int
+	Checkpoint   string // JSONL journal path ("" = no checkpointing)
+	Resume       bool   // skip cells already journaled under a matching fingerprint
+	// StopAfter ends the sweep with ErrStopped once that many cells have
+	// completed in this run (0 = run to completion); the deterministic
+	// "kill" half of the kill/resume tests and CI smoke job.
+	StopAfter int
+	BuildID   string        // fingerprint build key (default BuildID())
+	Sink      obs.SweepSink // progress events (nil = none)
+	SmallCost float64       // cells cheaper than this run sequentially (default DefaultSmallCost)
+}
+
+func (o *Options) fill() {
+	if o.Jobs < 1 {
+		o.Jobs = 1
+	}
+	if o.Budget < 1 {
+		o.Budget = runtime.GOMAXPROCS(0)
+	}
+	if o.BuildID == "" {
+		o.BuildID = BuildID()
+	}
+	if o.SmallCost == 0 {
+		o.SmallCost = DefaultSmallCost
+	}
+}
+
+// Run executes the jobs under the sweep options and returns one Result per
+// job, in the jobs' (canonical) order. On ErrStopped or cancellation the
+// results of unfinished cells are zero; completed cells are already in the
+// checkpoint journal when one is configured.
+func Run(ctx context.Context, jobs []Job, opt bench.Options, o Options) ([]Result, error) {
+	o.fill()
+	opt = opt.Filled()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var cached map[string]Entry
+	var journal *Journal
+	if o.Checkpoint != "" {
+		if o.Resume {
+			var err error
+			if cached, err = LoadJournal(o.Checkpoint); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		if journal, err = OpenJournal(o.Checkpoint, o.Resume); err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+	}
+
+	results := make([]Result, len(jobs))
+	prog := newProgress(jobs, o.Sink)
+	fps := make([]string, len(jobs))
+	var pending []int
+	for i, job := range jobs {
+		fps[i] = Fingerprint(job, opt, o.BuildID)
+		if e, ok := cached[fps[i]]; ok {
+			results[i] = Result{Job: job, Row: e.Row, ElapsedSec: e.ElapsedSec, Cached: true}
+			prog.cached(job)
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	order := LPTOrder(jobs, pending)
+	maxCost := 0.0
+	for _, i := range pending {
+		if jobs[i].Cost > maxCost {
+			maxCost = jobs[i].Cost
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pool := newSlotPool(o.Jobs, o.Budget)
+	defer pool.closeOnDone(runCtx)()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		executed int
+		stopped  bool
+	)
+	for _, idx := range order {
+		job := jobs[idx]
+		w := WorkersFor(job, o.Budget, o.Jobs, o.SmallCost, maxCost)
+		if o.FixedWorkers > 0 {
+			w = o.FixedWorkers
+			if w > o.Budget {
+				w = o.Budget
+			}
+		}
+		if !pool.acquire(w) {
+			break // sweep canceled or stopped while waiting
+		}
+		wg.Add(1)
+		go func(idx int, job Job, w int) {
+			defer wg.Done()
+			defer pool.release(w)
+			prog.start(job, w)
+			jobOpt := opt
+			// A one-worker grant means "run this cell sequentially": the
+			// engine's plain single-threaded path (Workers 0) computes the
+			// same results as a one-worker pool without the pool overhead.
+			jobOpt.Workers = w
+			if w == 1 {
+				jobOpt.Workers = 0
+			}
+			t0 := time.Now()
+			row, err := runCell(runCtx, job, jobOpt)
+			elapsed := time.Since(t0).Seconds()
+
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil && !errors.Is(err, context.Canceled) {
+					firstErr = fmt.Errorf("%s: %w", job.ID, err)
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+			results[idx] = Result{Job: job, Row: row, ElapsedSec: elapsed}
+			if journal != nil {
+				if jerr := journal.Append(Entry{
+					FP: fps[idx], Job: job.ID, Seq: job.Seq, ElapsedSec: elapsed, Row: row,
+				}); jerr != nil && firstErr == nil {
+					firstErr = jerr
+				}
+			}
+			executed++
+			stopNow := o.StopAfter > 0 && executed >= o.StopAfter && !stopped
+			if stopNow {
+				stopped = true
+			}
+			failed := firstErr != nil
+			mu.Unlock()
+			prog.done(job)
+			if stopNow || failed {
+				cancel()
+			}
+		}(idx, job, w)
+	}
+	wg.Wait()
+
+	switch {
+	case firstErr != nil:
+		return results, firstErr
+	case stopped:
+		return results, ErrStopped
+	case ctx.Err() != nil:
+		return results, ctx.Err()
+	}
+	prog.sweepDone()
+	return results, nil
+}
+
+// runCell executes one cell against its experiment.
+func runCell(ctx context.Context, job Job, opt bench.Options) (bench.Row, error) {
+	switch job.Suite {
+	case SuitePaper:
+		ex, err := bench.FindTable(job.Exp)
+		if err != nil {
+			return bench.Row{}, err
+		}
+		return ex.RunCtx(ctx, job.Size, opt)
+	case SuiteExtended:
+		ex, err := bench.FindExtended(job.Exp)
+		if err != nil {
+			return bench.Row{}, err
+		}
+		return ex.RunCtx(ctx, job.Size, opt)
+	}
+	return bench.Row{}, fmt.Errorf("sweep: unknown suite %q", job.Suite)
+}
+
+// progress aggregates completion state and derives the events' ETA from the
+// cost model: the rate is measured over executed cost only, so resumed
+// (cached) cells advance the progress fraction without skewing the rate.
+type progress struct {
+	sink obs.SweepSink
+	t0   time.Time
+
+	mu        sync.Mutex
+	doneCells int
+	total     int
+	costDone  float64
+	costTotal float64
+	execDone  float64 // executed (non-cached) cost completed
+	execTotal float64 // executed cost scheduled for this run
+}
+
+func newProgress(jobs []Job, sink obs.SweepSink) *progress {
+	p := &progress{sink: sink, t0: time.Now(), total: len(jobs)}
+	for _, j := range jobs {
+		p.costTotal += j.Cost
+	}
+	p.execTotal = p.costTotal
+	return p
+}
+
+func (p *progress) emit(kind obs.SweepEventKind, job string, workers int) {
+	if p.sink == nil {
+		return
+	}
+	elapsed := time.Since(p.t0).Seconds()
+	eta := -1.0
+	if p.execDone > 0 && elapsed > 0 {
+		rate := p.execDone / elapsed
+		eta = (p.execTotal - p.execDone) / rate
+	}
+	p.sink.OnSweepEvent(obs.SweepEvent{
+		Kind: kind, Job: job, Workers: workers,
+		Done: p.doneCells, Total: p.total,
+		CostDone: p.costDone, CostTotal: p.costTotal,
+		ElapsedSec: elapsed, ETASec: eta,
+	})
+}
+
+func (p *progress) cached(job Job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.doneCells++
+	p.costDone += job.Cost
+	p.execTotal -= job.Cost
+	p.emit(obs.SweepJobCached, job.ID, 0)
+}
+
+func (p *progress) start(job Job, workers int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emit(obs.SweepJobStart, job.ID, workers)
+}
+
+func (p *progress) done(job Job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.doneCells++
+	p.costDone += job.Cost
+	p.execDone += job.Cost
+	p.emit(obs.SweepJobDone, job.ID, 0)
+}
+
+func (p *progress) sweepDone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.emit(obs.SweepDone, "", 0)
+}

@@ -1,0 +1,212 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// testOptions keeps the simulated windows short: the determinism claims
+// under test do not depend on the window length.
+func testOptions() bench.Options {
+	return bench.Options{Seed: 1, Warmup: 50, Measure: 100}.Filled()
+}
+
+func testJobs(t *testing.T, opt bench.Options) []Job {
+	t.Helper()
+	jobs, err := BuildJobs(SuitePaper, "", 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 10 {
+		t.Fatalf("paper suite at maxn 10 yielded only %d jobs", len(jobs))
+	}
+	return jobs
+}
+
+func rowsOf(results []Result) []bench.Row {
+	rows := make([]bench.Row, len(results))
+	for i, r := range results {
+		rows[i] = r.Row
+	}
+	return rows
+}
+
+// The merged results must be identical whatever the concurrency level: the
+// scheduler varies worker counts and completion order, never the rows.
+func TestSweepDeterminismAcrossJobs(t *testing.T) {
+	opt := testOptions()
+	jobs := testJobs(t, opt)
+
+	seq, err := Run(context.Background(), jobs, opt, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), jobs, opt, Options{Jobs: 4, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Row != par[i].Row {
+			t.Errorf("%s: jobs=1 row %+v != jobs=4 row %+v", jobs[i].ID, seq[i].Row, par[i].Row)
+		}
+	}
+}
+
+// A sweep killed after N cells and resumed must produce exactly the rows of
+// an uninterrupted run, with the first run's cells served from checkpoint.
+func TestSweepStopAndResume(t *testing.T) {
+	opt := testOptions()
+	jobs := testJobs(t, opt)
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	full, err := Run(context.Background(), jobs, opt, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const stopAfter = 4
+	_, err = Run(context.Background(), jobs, opt, Options{
+		Jobs: 2, Budget: 2, Checkpoint: ckpt, StopAfter: stopAfter,
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("stop-after run returned %v, want ErrStopped", err)
+	}
+
+	resumed, err := Run(context.Background(), jobs, opt, Options{
+		Jobs: 2, Budget: 2, Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedCount := 0
+	for _, r := range resumed {
+		if r.Cached {
+			cachedCount++
+		}
+	}
+	if cachedCount < stopAfter {
+		t.Errorf("resume served %d cells from checkpoint, want >= %d", cachedCount, stopAfter)
+	}
+	if cachedCount == len(resumed) {
+		t.Error("every cell was cached; the stop-after run did not stop early")
+	}
+	fullRows, resumedRows := rowsOf(full), rowsOf(resumed)
+	for i := range fullRows {
+		if fullRows[i] != resumedRows[i] {
+			t.Errorf("%s: uninterrupted row %+v != resumed row %+v", jobs[i].ID, fullRows[i], resumedRows[i])
+		}
+	}
+}
+
+// A checkpoint recorded under different options must be ignored wholesale:
+// resuming with a new seed re-runs every cell.
+func TestSweepResumeIgnoresStaleCheckpoint(t *testing.T) {
+	opt := testOptions()
+	jobs := testJobs(t, opt)
+	ckpt := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	if _, err := Run(context.Background(), jobs, opt, Options{Jobs: 1, Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+
+	newOpt := opt
+	newOpt.Seed = 42
+	newJobs := testJobs(t, newOpt)
+	resumed, err := Run(context.Background(), newJobs, newOpt, Options{
+		Jobs: 1, Checkpoint: ckpt, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resumed {
+		if r.Cached {
+			t.Errorf("%s: cell served from a checkpoint recorded under another seed", r.Job.ID)
+		}
+	}
+}
+
+// Cancellation must surface as a context error, not hang or a corrupt merge.
+func TestSweepCancel(t *testing.T) {
+	opt := testOptions()
+	jobs := testJobs(t, opt)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, jobs, opt, Options{Jobs: 2, Budget: 2})
+	if err == nil {
+		t.Fatal("canceled sweep returned nil error")
+	}
+}
+
+func TestBuildJobsShape(t *testing.T) {
+	opt := testOptions()
+	jobs, err := BuildJobs(SuiteAll, "", 12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i, j := range jobs {
+		if j.Seq != i {
+			t.Fatalf("job %s has Seq %d at position %d", j.ID, j.Seq, i)
+		}
+		if seen[j.ID] {
+			t.Fatalf("duplicate job id %s", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Cost <= 0 {
+			t.Errorf("%s: non-positive cost %f", j.ID, j.Cost)
+		}
+		if j.Nodes <= 0 {
+			t.Errorf("%s: non-positive nodes %d", j.ID, j.Nodes)
+		}
+	}
+	// The credited shuffle-exchange cells must be pinned to one worker:
+	// their tie-breaking is worker-count dependent.
+	sawShuffle := false
+	for _, j := range jobs {
+		if j.Exp == "ext-shuffle-random-n" || j.Exp == "ext-shuffle-random-dyn" {
+			sawShuffle = true
+			if j.Parallelizable {
+				t.Errorf("%s: credited algorithm marked parallelizable", j.ID)
+			}
+		}
+	}
+	if !sawShuffle {
+		t.Fatal("suite all did not include shuffle-exchange cells")
+	}
+
+	// The atomic engine ignores Workers: nothing is parallelizable there.
+	aOpt := opt
+	aOpt.Engine = "atomic"
+	aJobs, err := BuildJobs(SuitePaper, "", 10, aOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range aJobs {
+		if j.Parallelizable {
+			t.Errorf("%s: atomic-engine cell marked parallelizable", j.ID)
+		}
+	}
+}
+
+func TestBuildJobsSingleTable(t *testing.T) {
+	opt := testOptions()
+	jobs, err := BuildJobs(SuitePaper, "table9", 12, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Exp != "table9" {
+			t.Fatalf("table selector leaked job %s", j.ID)
+		}
+	}
+	if len(jobs) != 3 { // n = 10, 11, 12
+		t.Fatalf("table9 at maxn 12 yielded %d jobs, want 3", len(jobs))
+	}
+	if _, err := BuildJobs(SuitePaper, "no-such-table", 0, opt); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
