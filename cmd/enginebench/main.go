@@ -1,14 +1,15 @@
 // Command enginebench measures the simulation engines' raw throughput
-// (cycles/sec and delivered packets/sec) on the paper's λ=1 dynamic random
-// workload and appends the result to the BENCH_engine.json perf trajectory,
-// so every change to the engine's hot loop is measured against the recorded
-// history.
+// (cycles/sec and delivered packets/sec) on a dynamic random workload (λ=1
+// on the hypercube; the extended-suite rates on the other topologies) and
+// appends the result to the BENCH_engine.json perf trajectory, so every
+// change to the engine's hot loop is measured against the recorded history.
 //
 // Typical use:
 //
 //	go run ./cmd/enginebench -label my-change
 //	go run ./cmd/enginebench -label quick -dims 8,10 -measure 200
 //	go run ./cmd/enginebench -label atomic-change -engine atomic
+//	go run ./cmd/enginebench -label mesh-before -algo mesh -nomask
 //
 // Comparison mode gates CI on regressions: it compares the matching cells
 // of two trajectory files and exits nonzero when any cell of the second
@@ -31,7 +32,9 @@ func main() {
 	var (
 		label     = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
 		out       = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
-		dims      = flag.String("dims", "8,10,12", "comma-separated hypercube dimensions")
+		algo      = flag.String("algo", "hypercube", "routing algorithm(s) to benchmark, comma-separated: hypercube|mesh|torus|shuffle|ccc")
+		dims      = flag.String("dims", "", "comma-separated sizes (hypercube/shuffle/ccc: dimensions; mesh/torus: side); default per algo, so leave empty when -algo lists several")
+		nomask    = flag.Bool("nomask", false, "disable the port-mask fast path (same-binary baseline for before/after runs)")
 		workers   = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
 		warmup    = flag.Int64("warmup", 100, "warmup cycles per cell")
 		measure   = flag.Int64("measure", 400, "measured cycles per cell")
@@ -50,17 +53,27 @@ func main() {
 		os.Exit(runCompare(flag.Args(), *tolerance, *useLabel))
 	}
 
-	cfg := bench.EngineBenchConfig{
-		Dims:    parseInts(*dims),
-		Workers: parseInts(*workers),
-		Warmup:  *warmup,
-		Measure: *measure,
-		Repeat:  *repeat,
-		Seed:    *seed,
-		Engine:  *engine,
+	var run bench.EngineBenchRun
+	for i, a := range strings.Split(*algo, ",") {
+		cfg := bench.EngineBenchConfig{
+			Algo:    strings.TrimSpace(a),
+			Dims:    parseInts(*dims),
+			Workers: parseInts(*workers),
+			Warmup:  *warmup,
+			Measure: *measure,
+			Repeat:  *repeat,
+			Seed:    *seed,
+			Engine:  *engine,
+			NoMask:  *nomask,
+		}
+		r, err := bench.RunEngineBench(*label, cfg)
+		fatal(err)
+		if i == 0 {
+			run = r
+		} else {
+			run.Results = append(run.Results, r.Results...)
+		}
 	}
-	run, err := bench.RunEngineBench(*label, cfg)
-	fatal(err)
 	run.Note = *note
 
 	var baseline *bench.EngineBenchRun

@@ -24,18 +24,37 @@ import (
 
 // EngineBenchConfig selects the grid the engine benchmark sweeps.
 type EngineBenchConfig struct {
-	Dims    []int  // hypercube dimensions (default 8, 10, 12)
+	// Algo selects the routing algorithm / topology: "hypercube" (default),
+	// "mesh", "torus", "shuffle", or "ccc". Dims is interpreted per algo
+	// (hypercube/shuffle/ccc: dimensions; mesh/torus: side of a square).
+	Algo    string
+	Dims    []int  // sizes to sweep (default per Algo)
 	Workers []int  // worker counts (default 1 and NumCPU, deduplicated)
 	Warmup  int64  // warmup cycles per run (default 100)
 	Measure int64  // measured cycles per run (default 400)
 	Seed    int64  // simulation seed (default 1)
 	Repeat  int    // timed repetitions per cell; the fastest is kept (default 3)
 	Engine  string // simulation model: "buffered" (default) or "atomic"
+	// NoMask disables the PortMaskRouter fast path (Config.DisablePortMask),
+	// giving a same-binary baseline for before/after mask measurements.
+	NoMask bool
 }
 
 func (c *EngineBenchConfig) fill() {
+	if c.Algo == "" {
+		c.Algo = "hypercube"
+	}
 	if len(c.Dims) == 0 {
-		c.Dims = []int{8, 10, 12}
+		switch c.Algo {
+		case "mesh", "torus":
+			c.Dims = []int{16, 24, 32}
+		case "shuffle":
+			c.Dims = []int{10, 12, 14}
+		case "ccc":
+			c.Dims = []int{6, 7, 8}
+		default:
+			c.Dims = []int{8, 10, 12}
+		}
 	}
 	if c.Engine == "" {
 		c.Engine = "buffered"
@@ -78,7 +97,14 @@ func (c *EngineBenchConfig) fill() {
 type EngineBenchResult struct {
 	// Engine is the simulation model the cell timed; empty in runs recorded
 	// before the benchmark covered the atomic engine (implying "buffered").
-	Engine       string  `json:"engine,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Algo is the routing algorithm the cell timed; empty in runs recorded
+	// before the benchmark covered non-hypercube topologies (implying
+	// "hypercube").
+	Algo string `json:"algo,omitempty"`
+	// NoMask marks cells timed with the port-mask fast path disabled
+	// (baseline cells of a before/after mask measurement).
+	NoMask       bool    `json:"nomask,omitempty"`
 	Dims         int     `json:"dims"`
 	Nodes        int     `json:"nodes"`
 	Workers      int     `json:"workers"`
@@ -123,7 +149,44 @@ type EngineBenchFile struct {
 
 // engineBenchWorkload names the fixed workload so the artifact is
 // self-describing.
-const engineBenchWorkload = "buffered engine, hypercube-adaptive, dynamic random traffic lambda=1, queue cap 5"
+const engineBenchWorkload = "dynamic random traffic, queue cap 5; per-algo injection rates: hypercube lambda=1, mesh 0.08, torus 0.2, shuffle 0.02, ccc 0.04 (the extended-suite rates); engine buffered or atomic per cell"
+
+// benchAlgorithm constructs the algorithm for one cell. size follows the
+// algo's natural parameter: dimensions for hypercube/shuffle/ccc, the side
+// of a square for mesh/torus.
+func benchAlgorithm(algo string, size int) (core.Algorithm, error) {
+	switch algo {
+	case "hypercube":
+		return core.NewHypercubeAdaptive(size), nil
+	case "mesh":
+		return core.NewMeshAdaptive(size, size), nil
+	case "torus":
+		return core.NewTorusAdaptive(size, size), nil
+	case "shuffle":
+		return core.NewShuffleExchangeAdaptive(size), nil
+	case "ccc":
+		return core.NewCCCAdaptive(size), nil
+	}
+	return nil, fmt.Errorf("bench: unknown algo %q (want hypercube, mesh, torus, shuffle, or ccc)", algo)
+}
+
+// benchLambda is the per-node injection probability for one cell — the
+// extended-suite rates, so the benchmark load matches what the sweep
+// wall-clock actually pays (and stays below each topology's saturation
+// point; λ=1 would saturate or even deadlock-abort the weaker networks).
+func benchLambda(algo string) float64 {
+	switch algo {
+	case "mesh":
+		return 0.08
+	case "torus":
+		return 0.2
+	case "shuffle":
+		return 0.02
+	case "ccc":
+		return 0.04
+	}
+	return 1.0
+}
 
 // RunEngineBench executes the sweep and returns the labeled run.
 func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error) {
@@ -139,7 +202,7 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 		for _, workers := range cfg.Workers {
 			res, err := engineBenchCell(dims, workers, cfg)
 			if err != nil {
-				return run, fmt.Errorf("bench: engine=%s dims=%d workers=%d: %w", cfg.Engine, dims, workers, err)
+				return run, fmt.Errorf("bench: engine=%s algo=%s dims=%d workers=%d: %w", cfg.Engine, cfg.Algo, dims, workers, err)
 			}
 			run.Results = append(run.Results, res)
 		}
@@ -152,20 +215,29 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 // repetitions only shake out scheduling and cache noise. The cell is timed
 // again with the metrics core enabled to record instrumentation overhead.
 func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResult, error) {
-	nodes := 1 << dims
-	best := EngineBenchResult{Engine: cfg.Engine, Dims: dims, Nodes: nodes, Workers: workers}
+	algo, err := benchAlgorithm(cfg.Algo, dims)
+	if err != nil {
+		return EngineBenchResult{}, err
+	}
+	nodes := algo.Topology().Nodes()
+	lambda := benchLambda(cfg.Algo)
+	best := EngineBenchResult{
+		Engine: cfg.Engine, Algo: cfg.Algo, NoMask: cfg.NoMask,
+		Dims: dims, Nodes: nodes, Workers: workers,
+	}
 	for _, withObs := range []bool{false, true} {
 		eng, err := sim.NewSimulator(cfg.Engine, sim.Config{
-			Algorithm: core.NewHypercubeAdaptive(dims),
-			Seed:      cfg.Seed,
-			Workers:   workers,
-			Metrics:   withObs,
+			Algorithm:       algo,
+			Seed:            cfg.Seed,
+			Workers:         workers,
+			Metrics:         withObs,
+			DisablePortMask: cfg.NoMask,
 		})
 		if err != nil {
 			return EngineBenchResult{}, err
 		}
 		for rep := 0; rep < cfg.Repeat; rep++ {
-			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, cfg.Seed+2)
+			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, lambda, cfg.Seed+2)
 			start := time.Now()
 			res, err := eng.Run(nil, src, sim.DynamicPlan(cfg.Warmup, cfg.Measure))
 			if err != nil {
@@ -242,12 +314,24 @@ func engineOf(r *EngineBenchResult) string {
 	return r.Engine
 }
 
-// matchCell returns the cell of run with the same (engine, dims, workers)
-// coordinates as r, or nil.
+// algoOf normalizes the algorithm name of a recorded cell: cells from before
+// the benchmark covered non-hypercube topologies carry no name and mean
+// "hypercube".
+func algoOf(r *EngineBenchResult) string {
+	if r.Algo == "" {
+		return "hypercube"
+	}
+	return r.Algo
+}
+
+// matchCell returns the cell of run with the same (engine, algo, dims,
+// workers) coordinates as r, or nil. NoMask is deliberately not part of the
+// key: a masked run compared against a -nomask baseline run is exactly the
+// before/after measurement the flag exists for.
 func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
 	for i := range run.Results {
 		b := &run.Results[i]
-		if engineOf(b) == engineOf(r) && b.Dims == r.Dims && b.Workers == r.Workers {
+		if engineOf(b) == engineOf(r) && algoOf(b) == algoOf(r) && b.Dims == r.Dims && b.Workers == r.Workers {
 			return b
 		}
 	}
@@ -258,15 +342,15 @@ func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
 // speedups against a baseline run when one is supplied.
 func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
 	s := fmt.Sprintf("engine bench %q (%s, ncpu=%d)\n", run.Label, run.Date, run.NumCPU)
-	s += "   engine dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
+	s += "   engine      algo dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
 	if baseline != nil {
 		s += " | vs " + baseline.Label
 	}
 	s += "\n"
 	for i := range run.Results {
 		r := &run.Results[i]
-		s += fmt.Sprintf(" %8s   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%",
-			engineOf(r), r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
+		s += fmt.Sprintf(" %8s %9s   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%",
+			engineOf(r), algoOf(r), r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
 		if baseline != nil {
 			if b := matchCell(baseline, r); b != nil && b.CyclesPerSec > 0 {
 				s += fmt.Sprintf(" | %5.2fx", r.CyclesPerSec/b.CyclesPerSec)
@@ -281,6 +365,7 @@ func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
 // throughput fell below the tolerated fraction of the baseline.
 type EngineBenchRegression struct {
 	Engine       string
+	Algo         string
 	Dims         int
 	Workers      int
 	BaselineCPS  float64
@@ -289,8 +374,8 @@ type EngineBenchRegression struct {
 }
 
 func (r EngineBenchRegression) String() string {
-	return fmt.Sprintf("%s dims=%d workers=%d: %.1f -> %.1f cycles/s (%.1f%% regression)",
-		r.Engine, r.Dims, r.Workers, r.BaselineCPS, r.CurrentCPS, 100*r.RelativeLoss)
+	return fmt.Sprintf("%s %s dims=%d workers=%d: %.1f -> %.1f cycles/s (%.1f%% regression)",
+		r.Engine, r.Algo, r.Dims, r.Workers, r.BaselineCPS, r.CurrentCPS, 100*r.RelativeLoss)
 }
 
 // CompareEngineBench compares the matching cells of two runs and returns the
@@ -310,6 +395,7 @@ func CompareEngineBench(base, cur EngineBenchRun, tolerance float64) []EngineBen
 		if loss > tolerance {
 			regs = append(regs, EngineBenchRegression{
 				Engine:       engineOf(r),
+				Algo:         algoOf(r),
 				Dims:         r.Dims,
 				Workers:      r.Workers,
 				BaselineCPS:  b.CyclesPerSec,

@@ -113,6 +113,75 @@ func (c *CCCAdaptive) ringMove(node int32, base, cur QueueClass) Move {
 	}
 }
 
+// PortMask implements the PortMaskRouter fast path with the per-port
+// encoding (six classes outgrow the grouped shape). Every CCC candidate set
+// without an internal move is mask-eligible: a forced cube hop (whose target
+// class folds the phase change via entryClass), a ring step (dateline channel
+// via ringClass) optionally paired with the phase-1 dynamic cube link, or the
+// phase-3 ring alignment. The unreachable internal phase changes decline to
+// Candidates.
+func (c *CCCAdaptive) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	w := int32(c.net.Vertex(int(node)))
+	i := c.net.Position(int(node))
+	wd := int32(c.net.Vertex(int(dst)))
+	bit := uint32(1) << uint(i)
+
+	switch class {
+	case ClassCCCP1C0, ClassCCCP1C1:
+		zeros := incorrectZeros(w, wd)
+		switch {
+		case zeros&bit != 0:
+			nw := w ^ int32(bit)
+			*pm = PortMasks{PerPort: true, StaticMask: 1 << topology.CCCCube}
+			pm.PortClass[topology.CCCCube] = c.entryClass(nw, wd)
+			return true
+		case zeros != 0:
+			*pm = PortMasks{PerPort: true, StaticMask: 1 << topology.CCCRingPlus}
+			pm.PortClass[topology.CCCRingPlus] = c.ringClass(node, ClassCCCP1C0, class)
+			if c.dynamic && incorrectOnes(w, wd)&bit != 0 {
+				pm.Dyn = 1 << topology.CCCCube
+				pm.DynClass = ClassCCCP1C0
+			}
+			return true
+		default:
+			return false // internal phase change
+		}
+	case ClassCCCP2C0, ClassCCCP2C1:
+		ones := incorrectOnes(w, wd)
+		switch {
+		case ones&bit != 0:
+			nw := w ^ int32(bit)
+			*pm = PortMasks{PerPort: true, StaticMask: 1 << topology.CCCCube}
+			pm.PortClass[topology.CCCCube] = c.entryClass(nw, wd)
+			return true
+		case ones != 0:
+			*pm = PortMasks{PerPort: true, StaticMask: 1 << topology.CCCRingPlus}
+			pm.PortClass[topology.CCCRingPlus] = c.ringClass(node, ClassCCCP2C0, class)
+			return true
+		default:
+			return false // internal phase change
+		}
+	case ClassCCCP3C0, ClassCCCP3C1:
+		*pm = PortMasks{PerPort: true, StaticMask: 1 << topology.CCCRingPlus}
+		pm.PortClass[topology.CCCRingPlus] = c.ringClass(node, ClassCCCP3C0, class)
+		return true
+	}
+	return false
+}
+
+// ringClass mirrors ringMove for the mask path: the class of the forward
+// ring step, accounting for the dateline crossing into channel 1.
+func (c *CCCAdaptive) ringClass(node int32, base, cur QueueClass) QueueClass {
+	channel := cur - base
+	if c.net.Position(c.net.Neighbor(int(node), topology.CCCRingPlus)) == 0 {
+		channel = 1
+	}
+	return base + channel
+}
+
 func (c *CCCAdaptive) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {
 	if node == dst {
 		return append(buf, Move{Node: node, Port: PortInternal, Kind: Static, MinFree: 1, Deliver: true})

@@ -146,28 +146,78 @@ type Algorithm interface {
 }
 
 // PortMasks describes a candidate set as port bitmasks: one uncredited,
-// MinFree-1 remote move per set bit, emitted by Candidates in ascending port
-// order. Bit t of Static[c] is a static move through port t into class c;
-// bit t of Dyn is a dynamic move through port t into DynClass. The masks
-// must be pairwise disjoint, and Work is the packet's scratch state after
-// any of the moves.
+// MinFree-1 remote move per set bit — exactly the moves Candidates emits, in
+// ascending port order. Two encodings share the struct:
+//
+//   - Grouped (PerPort false; the hypercube fast case): bit t of Static[c]
+//     is a static move through port t into class c. Usable when the
+//     algorithm has at most 4 central queues and its static moves cluster
+//     by target class; consumers recover the class by scanning the four
+//     masks, which for the two-class schemes is a one-probe loop.
+//   - Per-port (PerPort true): bit t of StaticMask is a static move through
+//     port t into PortClass[t]. Used when the class structure outgrows the
+//     grouped shape (the torus's 2^(k+1) wrap classes, the CCC's six phase
+//     classes).
+//
+// In both encodings bit t of Dyn is a dynamic move through port t into
+// DynClass; the static masks and Dyn must be pairwise disjoint. Work is the
+// packet's scratch state after any static move and DynWork after any
+// dynamic move. The two usually coincide (and are both zero for the
+// work-free hypercube and mesh schemes); they differ for the
+// shuffle-exchange, whose deferred 1->0 corrections advance the shuffle
+// count on the static shuffle step but not on the dynamic exchange.
 type PortMasks struct {
-	Static   [4]uint32 // static moves into class c, per target class
+	Static   [4]uint32 // grouped encoding: static moves into class c
 	Dyn      uint32    // dynamic moves (through the shared dynamic buffer)
 	DynClass QueueClass
-	Work     uint32
+	// PerPort selects the per-port encoding: static moves come from
+	// StaticMask/PortClass and the Static array is ignored.
+	PerPort    bool
+	Work       uint32         // scratch after a static move
+	DynWork    uint32         // scratch after a dynamic move
+	StaticMask uint32         // per-port encoding: union of static move ports
+	PortClass  [32]QueueClass // per-port encoding: target class per port
+}
+
+// StaticUnion returns the union of the static port masks under either
+// encoding.
+func (pm *PortMasks) StaticUnion() uint32 {
+	if pm.PerPort {
+		return pm.StaticMask
+	}
+	return pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3]
+}
+
+// StaticClass returns the target class of the static move through port t
+// (which must be set in the static masks) under either encoding.
+func (pm *PortMasks) StaticClass(t int) QueueClass {
+	if pm.PerPort {
+		return pm.PortClass[t]
+	}
+	c := QueueClass(0)
+	for pm.Static[c]&(1<<uint(t)) == 0 {
+		c++
+	}
+	return c
 }
 
 // PortMaskRouter is an optional fast path for Algorithm implementations
-// whose candidate sets from some states have the PortMasks shape (at most 4
-// central queues, no internal/credited/delivery moves, uniform scratch
-// update). For every other state PortMask reports ok == false and the caller
-// must fall back to Candidates. The simulators use it to route their hottest
-// scan without materializing Move values; implementations must keep it
-// exactly consistent with Candidates, which the engine determinism tests
-// cross-check. The result is written through pm (caller-owned scratch that
-// the implementation fully overwrites on a true return) rather than
-// returned, keeping the per-packet call free of a by-value struct copy.
+// whose candidate sets from some states have the PortMasks shape (no
+// internal, credited, or delivery moves, at most one scratch value per link
+// kind). For every other state PortMask reports ok == false and the caller
+// must fall back to Candidates. The fallback is per state, not per run: a
+// partial implementor may decline any subset of states and the engines
+// route exactly those packets through Candidates within the same cycle, so
+// declining is always safe (the engine tests pin this with an implementor
+// that declines half its states).
+//
+// The simulators use the interface to route their hottest scan without
+// materializing Move values; implementations must keep it exactly
+// consistent with Candidates, which the portmask property tests and the
+// engine determinism tests cross-check. The result is written through pm
+// (caller-owned scratch that the implementation fully overwrites on a true
+// return) rather than returned, keeping the per-packet call free of a
+// by-value struct copy.
 type PortMaskRouter interface {
 	PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool
 }

@@ -180,6 +180,33 @@ func (h *HypercubeHung) Inject(src, dst int32) (QueueClass, uint32) {
 	return ClassB, 0
 }
 
+// PortMask is the adaptive hypercube's mask without the dynamic links,
+// mirroring the Candidates ablation.
+func (h *HypercubeHung) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	switch class {
+	case ClassB:
+		*pm = PortMasks{}
+		pm.Static[ClassB] = incorrectOnes(node, dst)
+		return true
+	case ClassA:
+		zeros := incorrectZeros(node, dst)
+		if zeros == 0 {
+			return false
+		}
+		*pm = PortMasks{}
+		if zeros&(zeros-1) == 0 {
+			pm.Static[ClassB] = zeros
+		} else {
+			pm.Static[ClassA] = zeros
+		}
+		return true
+	}
+	return false
+}
+
 func (h *HypercubeHung) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {
 	if node == dst {
 		return append(buf, Move{Node: node, Port: PortInternal, Kind: Static, MinFree: 1, Deliver: true})

@@ -58,6 +58,57 @@ func (m *MeshAdaptive) hasAscending(cur, dst int) bool {
 	return false
 }
 
+// PortMask implements the PortMaskRouter fast path with the grouped
+// encoding. Phase A offers one static ascending move per dimension still
+// below its target — all into q_A, except that a single ascending dimension
+// one step from its target makes every ascending move the last phase-A
+// correction, entering q_B — plus one dynamic descending move per dimension
+// above its target. Phase B is one static q_B move per descending
+// dimension. Only the internal phase change (no ascent left in q_A,
+// unreachable in normal operation) falls back to Candidates.
+func (m *MeshAdaptive) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	n, d := int(node), int(dst)
+	var asc, desc uint32
+	ascDims, gapOne := 0, false
+	for i := 0; i < m.mesh.Dims(); i++ {
+		cn, cd := m.mesh.Coord(n, i), m.mesh.Coord(d, i)
+		switch {
+		case cd > cn:
+			asc |= 1 << uint(2*i)
+			ascDims++
+			gapOne = cd-cn == 1
+		case cd < cn:
+			desc |= 1 << uint(2*i+1)
+		}
+	}
+	switch class {
+	case ClassA:
+		if asc == 0 {
+			return false
+		}
+		*pm = PortMasks{Dyn: desc, DynClass: ClassA}
+		if ascDims == 1 && gapOne {
+			// The only ascending move is the last phase-A correction:
+			// hasAscending is false at its endpoint, so it enters q_B.
+			pm.Static[ClassB] = asc
+		} else {
+			// Either several ascending dimensions remain (each move leaves
+			// the others pending) or the single one has gap > 1: every
+			// endpoint still has ascent, so every move stays in q_A.
+			pm.Static[ClassA] = asc
+		}
+		return true
+	case ClassB:
+		*pm = PortMasks{}
+		pm.Static[ClassB] = desc
+		return true
+	}
+	return false
+}
+
 func (m *MeshAdaptive) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {
 	if node == dst {
 		return append(buf, Move{Node: node, Port: PortInternal, Kind: Static, MinFree: 1, Deliver: true})
@@ -129,6 +180,16 @@ func (m *MeshTwoPhase) MaxHops(src, dst int32) int { return m.inner.MaxHops(src,
 
 func (m *MeshTwoPhase) Inject(src, dst int32) (QueueClass, uint32) {
 	return m.inner.Inject(src, dst)
+}
+
+// PortMask is the adaptive mesh's mask with the dynamic links removed,
+// mirroring what Candidates filters.
+func (m *MeshTwoPhase) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if !m.inner.PortMask(node, class, work, dst, pm) {
+		return false
+	}
+	pm.Dyn = 0
+	return true
 }
 
 func (m *MeshTwoPhase) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {

@@ -195,6 +195,101 @@ func (s *ShuffleExchangeAdaptive) shuffleMove(node int32, base, cur QueueClass, 
 	return mv
 }
 
+// PortMask implements the PortMaskRouter fast path with the grouped
+// encoding (4 classes). Mask-eligible states are the pure link moves:
+// a mandatory or phase-2 exchange, an ordinary (uncredited, non-fixed-point)
+// shuffle step, and the phase-1 deferred correction, whose static shuffle
+// and dynamic exchange advance the shuffle count differently — the only
+// algorithm where Work and DynWork diverge. States with an internal move
+// (phase changes, eager early switch, rotation fixed points) or a credited
+// bubble move (degenerate-cycle channel-1 rings) decline to Candidates.
+func (s *ShuffleExchangeAdaptive) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	n := s.net.Dims()
+	k := shuffleK(work)
+	bit0 := int(node) & 1
+	want := s.examTarget(dst, k)
+
+	switch class {
+	case ClassP1C0, ClassP1C1:
+		if k == n {
+			return false // internal phase change
+		}
+		if s.eager && s.noZeroFixRemains(node, dst, k) {
+			return false // internal early switch is one of the candidates
+		}
+		if bit0 == 0 && want == 1 {
+			*pm = PortMasks{Work: work}
+			pm.Static[ClassP1C0] = 1 << topology.ExchangePort
+			return true
+		}
+		sc, sw, ok := s.shuffleMask(node, ClassP1C0, class, work)
+		if !ok {
+			return false
+		}
+		*pm = PortMasks{Work: sw}
+		pm.Static[sc] = 1 << topology.ShufflePort
+		if bit0 == 1 && want == 0 && s.dynamic {
+			// Deferred 1->0 fix: the dynamic exchange keeps the shuffle
+			// count, the static shuffle advances it.
+			pm.Dyn = 1 << topology.ExchangePort
+			pm.DynClass = ClassP1C0
+			pm.DynWork = work
+		}
+		return true
+	case ClassP2C0, ClassP2C1:
+		if k >= shuffleKSwitch(work)+n {
+			if !s.eager {
+				return false // Candidates panics; keep the slow path's report
+			}
+			sc, sw, ok := s.shuffleMask(node, ClassP2C0, class, work)
+			if !ok {
+				return false
+			}
+			*pm = PortMasks{Work: sw}
+			pm.Static[sc] = 1 << topology.ShufflePort
+			return true
+		}
+		if bit0 == 1 && want == 0 {
+			*pm = PortMasks{Work: work}
+			pm.Static[ClassP2C0] = 1 << topology.ExchangePort
+			return true
+		}
+		if bit0 == 0 && want == 1 {
+			return false // Candidates panics; keep the slow path's report
+		}
+		sc, sw, ok := s.shuffleMask(node, ClassP2C0, class, work)
+		if !ok {
+			return false
+		}
+		*pm = PortMasks{Work: sw}
+		pm.Static[sc] = 1 << topology.ShufflePort
+		return true
+	}
+	return false
+}
+
+// shuffleMask mirrors shuffleMove for the mask path: it returns the target
+// class and scratch of the static shuffle step, or ok == false when the step
+// is not mask-representable (rotation fixed point: internal; degenerate-cycle
+// channel-1 ring: credited).
+func (s *ShuffleExchangeAdaptive) shuffleMask(node int32, base, cur QueueClass, w uint32) (QueueClass, uint32, bool) {
+	next := s.net.RotLeft(int(node))
+	if next == int(node) {
+		return 0, 0, false
+	}
+	channel := cur - base
+	if next == s.net.CycleBreak(int(node)) {
+		channel = 1
+	}
+	if channel == 1 && s.net.CycleLen(int(node)) < s.net.Dims() {
+		return 0, 0, false
+	}
+	return base + channel, shuffleWork(shuffleK(w)+1, shuffleKSwitch(w)), true
+}
+
 func (s *ShuffleExchangeAdaptive) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {
 	if node == dst {
 		return append(buf, Move{Node: node, Port: PortInternal, Kind: Static, MinFree: 1, Deliver: true, Work: work})

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/topology"
 )
@@ -150,6 +151,115 @@ func (t *TorusAdaptive) wrapMove(node, dst int32, dirs, wraps uint32, i int, asc
 		Class: t.class(nw, t.phaseFor(next, dst, dirs, nw)),
 		Kind:  Static, MinFree: 1, Work: dirs,
 	}
+}
+
+// PortMask implements the PortMaskRouter fast path with the per-port
+// encoding (wrap classes exceed the grouped shape's 4-class limit). It
+// derives the same moves as Candidates from one pass over the dimensions:
+// each dimension contributes at most one port (ascend, descend, or wrap
+// crossing), and the phase of every endpoint follows from counts computed
+// in the same pass instead of re-walking the dimensions per move the way
+// pending/phaseFor do. Only the internal phase change (phase A without
+// ascent) and the phase-B-with-ascent panic state fall back to Candidates.
+func (t *TorusAdaptive) PortMask(node int32, class QueueClass, work uint32, dst int32, pm *PortMasks) bool {
+	if node == dst {
+		return false
+	}
+	k := t.dims()
+	wraps := uint32(class >> 1)
+	phase := class & 1
+	dirs := work
+	shape := t.torus.Shape()
+	// Per-dimension residual state, computed once: which dimensions still
+	// ascend or descend within the wrap class, which sit on their wrap
+	// boundary, and (for the endpoint phases) which ascents are one step
+	// from their in-class target.
+	var ascMask, descMask, wrapMask, gapOne uint32
+	var zc [6]int32
+	for i := 0; i < k; i++ {
+		c, z := t.torus.Coord(int(node), i), t.torus.Coord(int(dst), i)
+		zc[i] = int32(z)
+		plus := dirs&(1<<uint(i)) != 0
+		needWrap := wraps&(1<<uint(i)) == 0 && c != z && ((plus && z < c) || (!plus && z > c))
+		target := z
+		if needWrap {
+			if plus {
+				target = shape[i] - 1
+			} else {
+				target = 0
+			}
+		}
+		switch {
+		case c == target && needWrap:
+			wrapMask |= 1 << uint(i)
+		case c == target:
+			// done in this dimension
+		case plus:
+			ascMask |= 1 << uint(i)
+			if target-c == 1 {
+				gapOne |= 1 << uint(i)
+			}
+		default:
+			descMask |= 1 << uint(i)
+		}
+	}
+	if phase == 0 {
+		if ascMask == 0 {
+			return false // internal phase change
+		}
+		*pm = PortMasks{PerPort: true, Work: dirs, DynWork: dirs, DynClass: class}
+		for m := wrapMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros32(m)
+			p := 2 * i
+			if dirs&(1<<uint(i)) == 0 {
+				p++
+			}
+			// The other ascending dimensions are untouched by the crossing,
+			// so the endpoint stays in phase A.
+			pm.StaticMask |= 1 << uint(p)
+			pm.PortClass[p] = t.class(wraps|1<<uint(i), 0)
+		}
+		for m := ascMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros32(m)
+			nextPhase := QueueClass(1)
+			if ascMask&^(1<<uint(i)) != 0 || gapOne&(1<<uint(i)) == 0 {
+				nextPhase = 0 // ascent remains at the endpoint
+			}
+			pm.StaticMask |= 1 << uint(2*i)
+			pm.PortClass[2*i] = t.class(wraps, nextPhase)
+		}
+		for m := descMask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros32(m)
+			pm.Dyn |= 1 << uint(2*i+1)
+		}
+		return true
+	}
+	if ascMask != 0 {
+		return false // Candidates panics here; keep the slow path's report
+	}
+	*pm = PortMasks{PerPort: true, Work: dirs, DynWork: dirs}
+	for m := wrapMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		p := 2 * i
+		nextPhase := QueueClass(1)
+		if dirs&(1<<uint(i)) != 0 {
+			// Crossing a + boundary lands at coordinate 0; ascent resumes
+			// there unless the target coordinate is 0 itself.
+			if zc[i] != 0 {
+				nextPhase = 0
+			}
+		} else {
+			p++
+		}
+		pm.StaticMask |= 1 << uint(p)
+		pm.PortClass[p] = t.class(wraps|1<<uint(i), nextPhase)
+	}
+	for m := descMask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros32(m)
+		pm.StaticMask |= 1 << uint(2*i+1)
+		pm.PortClass[2*i+1] = class
+	}
+	return true
 }
 
 func (t *TorusAdaptive) Candidates(node int32, class QueueClass, work uint32, dst int32, buf []Move) []Move {

@@ -40,6 +40,16 @@ type AtomicEngine struct {
 	qlen     []int32
 	queueCap int
 
+	// Port-mask fast path (see nodePhaseA in engine.go for the buffered
+	// counterpart): with a PortMaskRouter algorithm and the FirstFree
+	// policy, mask-eligible head packets route through an inline bitmask
+	// scan over the neighbor table instead of materializing Moves. nbr is
+	// the same node*ports+port layout the buffered engine uses.
+	ports  int
+	nbr    []int32
+	pmr    core.PortMaskRouter
+	maskFF bool
+
 	injQ   []injSlot
 	rngs   []xrand.RNG
 	nextID []int64
@@ -68,6 +78,7 @@ type atomicRunState struct {
 	st        cycleStats
 	cand      [64]core.Move
 	adm       [64]int
+	pm        core.PortMasks
 	chooser   Engine // borrows (*Engine).choose for policy selection
 
 	active bool
@@ -101,6 +112,24 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 	e.nextID = make([]int64, e.nodes)
 	e.actBits = make([]uint64, (e.nodes+63)/64)
 	e.headID = make([]int64, nQueues)
+	e.ports = t.Ports()
+	if !cfg.DisablePortMask {
+		e.pmr, _ = a.(core.PortMaskRouter)
+	}
+	if e.pmr != nil && e.ports <= 32 {
+		e.nbr = make([]int32, e.nodes*e.ports)
+		for u := 0; u < e.nodes; u++ {
+			for p := 0; p < e.ports; p++ {
+				v := t.Neighbor(u, p)
+				if v == topology.None || v == u {
+					e.nbr[u*e.ports+p] = -1
+				} else {
+					e.nbr[u*e.ports+p] = int32(v)
+				}
+			}
+		}
+	}
+	e.maskFF = e.pmr != nil && e.nbr != nil && cfg.Policy == PolicyFirstFree
 	if !cfg.Faults.Empty() {
 		if t.Ports() > 32 {
 			return nil, fmt.Errorf("sim: fault injection supports at most 32 ports per node, %s has %d", t.Name(), t.Ports())
@@ -382,6 +411,104 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 				continue
 			}
 			pkt := *e.qAt(qi, 0)
+			if e.maskFF && pkt.Dst != u {
+				// Port-mask fast path: identical move-by-move to running the
+				// FirstFree selection over Candidates (including the hashed
+				// pick for fault-displaced packets), but the moves are
+				// implied by the mask bits and never built. States PortMask
+				// declines fall through to the Candidates scan below.
+				pm := &rs.pm
+				if e.pmr.PortMask(u, core.QueueClass(c), pkt.Work, pkt.Dst, pm) {
+					union := pm.StaticUnion() | pm.Dyn
+					if f != nil {
+						lp := f.livePorts[u]
+						pm.Static[0] &= lp
+						pm.Static[1] &= lp
+						pm.Static[2] &= lp
+						pm.Static[3] &= lp
+						pm.StaticMask &= lp
+						pm.Dyn &= lp
+						union = pm.StaticUnion() | pm.Dyn
+						if union == 0 {
+							e.misrouteAtomic(u, qi, cycle, st)
+							continue
+						}
+					}
+					// The atomic model's admissibility depends on the target
+					// queue, so (unlike the buffered probe-and-stop scan) the
+					// full admissible port set is computed — which the slow
+					// path does anyway, and the hashed misroute pick needs.
+					adm := uint32(0)
+					nbase := int(u) * e.ports
+					for mk := union; mk != 0; mk &= mk - 1 {
+						p := bits.TrailingZeros32(mk)
+						bit := uint32(1) << uint(p)
+						tc := 0
+						switch {
+						case pm.Dyn&bit != 0:
+							tc = int(pm.DynClass)
+						case pm.PerPort:
+							tc = int(pm.PortClass[p])
+						default:
+							for pm.Static[tc]&bit == 0 {
+								tc++
+							}
+						}
+						if e.qFree(int(e.nbr[nbase+p])*e.classes+tc) >= 1 {
+							adm |= bit
+						}
+					}
+					if adm == 0 {
+						if e.obsOn {
+							st.obs.Inc(obs.COutputStalls)
+						}
+						continue
+					}
+					sel := bits.TrailingZeros32(adm)
+					if f != nil && adm&(adm-1) != 0 && pkt.Misrouted() {
+						k := int(misrouteHash(cycle, pkt.ID, pkt.HopCount()) % uint32(bits.OnesCount32(adm)))
+						mk := adm
+						for i := 0; i < k; i++ {
+							mk &= mk - 1
+						}
+						sel = bits.TrailingZeros32(mk)
+					}
+					bit := uint32(1) << uint(sel)
+					dyn := pm.Dyn&bit != 0
+					tc := 0
+					switch {
+					case dyn:
+						tc = int(pm.DynClass)
+					case pm.PerPort:
+						tc = int(pm.PortClass[sel])
+					default:
+						for pm.Static[tc]&bit == 0 {
+							tc++
+						}
+					}
+					pkt = e.qPop(qi)
+					pkt.Hops++
+					pkt.Class = core.QueueClass(tc)
+					if dyn {
+						pkt.Work = pm.DynWork
+					} else {
+						pkt.Work = pm.Work
+					}
+					l := e.qPush(int(e.nbr[nbase+sel])*e.classes+tc, &pkt)
+					if l > st.maxQueue {
+						st.maxQueue = l
+					}
+					if e.obsOn {
+						st.obs.Observe(obs.HQueueLen, int64(l))
+						st.obs.Inc(obs.CLinkTransfers)
+					}
+					st.moves++
+					if dyn {
+						st.dynamicMoves++
+					}
+					continue
+				}
+			}
 			moves := e.algo.Candidates(u, core.QueueClass(c), pkt.Work, pkt.Dst, rs.cand[:0])
 			if f != nil {
 				moves = f.filterLiveMoves(u, moves)

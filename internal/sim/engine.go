@@ -294,7 +294,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.linkRR = make([]uint32, nLinks)
 	e.atomicOcc = a.Props().Credits
 	e.minimal = a.Props().Minimal
-	e.pmr, _ = a.(core.PortMaskRouter)
+	if !cfg.DisablePortMask {
+		e.pmr, _ = a.(core.PortMaskRouter)
+	}
 	if !cfg.Faults.Empty() {
 		if e.ports > 32 {
 			return nil, fmt.Errorf("sim: fault injection supports at most 32 ports per node, %s has %d", t.Name(), e.ports)
@@ -962,7 +964,12 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 	// scan below probe the flag inline instead of calling admissibleA.
 	fastAdm := e.occSnap == nil
 	// fastFF additionally requires the FirstFree policy and a PortMaskRouter
-	// algorithm: eligible packets then route without materializing Moves.
+	// algorithm (unless Config.DisablePortMask cleared e.pmr): eligible
+	// packets then route without materializing Moves. These are the only
+	// per-run conditions; per-state eligibility is PortMask's ok result
+	// below, so a partial implementor that declines some (or even most)
+	// states simply routes those packets through the Candidates scan within
+	// the same cycle — the fallback is per packet, not per run.
 	fastFF := fastAdm && e.pmr != nil && pol == PolicyFirstFree
 	lbase := int(u) * e.ports
 	obase := lbase * e.bufClasses
@@ -1022,14 +1029,18 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 						// Fault-free scan: kept branch-for-branch identical to
 						// the pre-fault engine so an unused fault subsystem
 						// costs the hot path nothing.
-						for mk := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn; mk != 0; mk &= mk - 1 {
+						for mk := pm.StaticUnion() | pm.Dyn; mk != 0; mk &= mk - 1 {
 							t := bits.TrailingZeros32(mk)
 							bit := uint32(1) << uint(t)
 							tc, bc := 0, 0
 							d := pm.Dyn&bit != 0
-							if d {
+							switch {
+							case d:
 								tc, bc = int(pm.DynClass), e.classes
-							} else {
+							case pm.PerPort:
+								tc = int(pm.PortClass[t])
+								bc = tc
+							default:
 								for pm.Static[tc]&bit == 0 {
 									tc++
 								}
@@ -1051,8 +1062,9 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 						pm.Static[1] &= lp
 						pm.Static[2] &= lp
 						pm.Static[3] &= lp
+						pm.StaticMask &= lp
 						pm.Dyn &= lp
-						union := pm.Static[0] | pm.Static[1] | pm.Static[2] | pm.Static[3] | pm.Dyn
+						union := pm.StaticUnion() | pm.Dyn
 						if union == 0 {
 							if !e.misroute(u, qi, idx, pkt, cycle, st) {
 								idx++
@@ -1086,9 +1098,13 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 							bit := uint32(1) << uint(t)
 							tc, bc := 0, 0
 							d := pm.Dyn&bit != 0
-							if d {
+							switch {
+							case d:
 								tc, bc = int(pm.DynClass), e.classes
-							} else {
+							case pm.PerPort:
+								tc = int(pm.PortClass[t])
+								bc = tc
+							default:
 								for pm.Static[tc]&bit == 0 {
 									tc++
 								}
@@ -1117,7 +1133,11 @@ func (e *Engine) nodePhaseA(u int32, cycle int64, win runWindow, st *cycleStats,
 					out := &e.outPkt[si]
 					*out = *pkt
 					out.Class = core.QueueClass(tgt)
-					out.Work = pm.Work
+					if dyn {
+						out.Work = pm.DynWork
+					} else {
+						out.Work = pm.Work
+					}
 					out.MinFree = 1
 					out.Hops++
 					e.qDrop(u, qi, idx)

@@ -140,6 +140,14 @@ type Config struct {
 	// fault-misrouted packet may take before it is dropped. 0 selects the
 	// plan's budget, or 64 when the plan sets none. Ignored without Faults.
 	HopBudget int
+	// DisablePortMask forces every routing decision through
+	// Algorithm.Candidates even when the algorithm implements
+	// core.PortMaskRouter. Routing is bit-identical either way (the
+	// determinism tests pin this); the switch exists for those tests and for
+	// same-host before/after benchmarking of the mask fast path. Disabling
+	// costs nothing per cycle: the engines simply skip the interface
+	// assertion at construction.
+	DisablePortMask bool
 	// RemoteLookahead makes a packet commit to an output buffer only when
 	// the target queue currently has room for every packet already headed
 	// its way plus this one (occupancy + inbound < capacity). This realizes
