@@ -16,6 +16,13 @@
 // lost more than -tolerance of its baseline throughput:
 //
 //	go run ./cmd/enginebench -compare -tolerance 0.15 old.json new.json
+//
+// Scaling mode measures one parallel-efficiency curve — cycles/s of a fixed
+// workload per worker count, plus the per-phase wall-clock breakdown when
+// -phaseprof is set — and records it in BENCH_scaling.json:
+//
+//	go run ./cmd/enginebench -scaling -label my-change -workers 1,2,4
+//	go run ./cmd/enginebench -scaling -phaseprof -rebalance 64 -label rb
 package main
 
 import (
@@ -46,11 +53,21 @@ func main() {
 		compare   = flag.Bool("compare", false, "compare two trajectory files (old.json new.json) and exit nonzero on regression")
 		tolerance = flag.Float64("tolerance", 0.10, "compare mode: tolerated relative slowdown per cell (0.10 = 10%)")
 		useLabel  = flag.String("compare-labels", "", "compare mode: \"oldLabel,newLabel\" run labels to compare (default: last run of each file)")
+
+		scaling    = flag.Bool("scaling", false, "scaling mode: record a parallel-efficiency curve over -workers instead of the throughput trajectory")
+		scalingOut = flag.String("scaling-out", "BENCH_scaling.json", "scaling mode: artifact file to append to; empty = print only")
+		phaseprof  = flag.Bool("phaseprof", false, "scaling mode: additionally profile each point's per-phase wall time (separate pass)")
+		rebalance  = flag.Int("rebalance", 0, "occupancy-weighted shard re-cut period in cycles (0 = off; buffered engine, workers > 1)")
 	)
 	flag.Parse()
 
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *tolerance, *useLabel))
+	}
+	if *scaling {
+		runScaling(*label, *scalingOut, *algo, *engine, *dims, *workers,
+			*warmup, *measure, *repeat, *seed, *phaseprof, *rebalance, *note)
+		return
 	}
 
 	var run bench.EngineBenchRun
@@ -91,6 +108,46 @@ func main() {
 	fmt.Print(bench.FormatEngineBench(run, baseline))
 	if *out != "" {
 		fmt.Printf("appended run %q to %s\n", *label, *out)
+	}
+}
+
+// runScaling records one scaling curve per algo listed in algos (each engine
+// sweep shares the worker ladder) and appends it to the scaling artifact.
+func runScaling(label, out, algos, engine, dims, workers string,
+	warmup, measure int64, repeat int, seed int64, phaseprof bool, rebalance int, note string) {
+	sizes := parseInts(dims)
+	for _, a := range strings.Split(algos, ",") {
+		a = strings.TrimSpace(a)
+		// The scaling protocol fixes one workload per curve; with -dims
+		// listing several sizes, each size gets its own curve.
+		curveDims := sizes
+		if len(curveDims) == 0 {
+			curveDims = []int{0} // ScalingConfig default for the algo
+		}
+		for _, d := range curveDims {
+			cfg := bench.ScalingConfig{
+				Engine:         engine,
+				Algo:           a,
+				Dims:           d,
+				Workers:        parseInts(workers),
+				Warmup:         warmup,
+				Measure:        measure,
+				Repeat:         repeat,
+				Seed:           seed,
+				PhaseProf:      phaseprof,
+				RebalanceEvery: rebalance,
+			}
+			run, err := bench.RunScaling(label, cfg)
+			fatal(err)
+			run.Note = note
+			if out != "" {
+				fatal(bench.AppendScaling(out, run))
+			}
+			fmt.Print(bench.FormatScaling(run))
+			if out != "" {
+				fmt.Printf("appended scaling run %q to %s\n", label, out)
+			}
+		}
 	}
 }
 

@@ -31,6 +31,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -60,16 +62,20 @@ func main() {
 		stopAfter  = flag.Int("stop-after", 0, "stop (exit 3) after completing this many cells; for checkpoint testing")
 		benchOut   = flag.String("bench", "", "append sweep wall-clock record to this JSON file")
 		benchLabel = flag.String("bench-label", "", "label for the -bench record")
+		rebalance  = flag.Int("rebalance", 0, "occupancy-weighted shard re-cut period in cycles (0 = off; buffered cells with workers > 1)")
+		scalingOut = flag.String("scaling", "", "scaling mode: rerun the sweep once per -scaling-jobs value and append a cells/s curve to this JSON file")
+		scalingJob = flag.String("scaling-jobs", "1,2", "scaling mode: comma-separated -jobs values to sweep")
 	)
 	flag.Parse()
 
 	opt := bench.Options{
-		Seed:      *seed,
-		QueueCap:  *cap_,
-		Warmup:    *warmup,
-		Measure:   *measure,
-		Algorithm: *algo,
-		Engine:    *engine,
+		Seed:           *seed,
+		QueueCap:       *cap_,
+		Warmup:         *warmup,
+		Measure:        *measure,
+		Algorithm:      *algo,
+		Engine:         *engine,
+		RebalanceEvery: *rebalance,
 	}
 	switch *policy {
 	case "first-free":
@@ -113,6 +119,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *scalingOut != "" {
+		os.Exit(runScalingSweep(ctx, jobList, opt, so, *scalingOut, *scalingJob,
+			*benchLabel, *suite, *maxN, *engine, *rebalance))
+	}
+
 	start := time.Now()
 	results, err := sweep.Run(ctx, jobList, opt, so)
 	wall := time.Since(start)
@@ -151,6 +162,76 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runScalingSweep is the sweep-level scaling protocol: the same job list is
+// executed once per -scaling-jobs value and the resulting cells/s curve is
+// appended to the scaling artifact (kind "sweep"). Table output is
+// suppressed — the mode measures orchestration throughput, and the rows are
+// bit-identical across jobs counts anyway (CI diffs them separately).
+func runScalingSweep(ctx context.Context, jobList []sweep.Job, opt bench.Options,
+	so sweep.Options, out, jobsCSV, label, suite string, maxN int, engine string, rebalance int) int {
+	if label == "" {
+		label = "dev"
+	}
+	run := bench.ScalingRun{
+		Label: label, Kind: "sweep", Engine: engine,
+		Suite: suite, MaxN: maxN, RebalanceEvery: rebalance,
+		Seed: opt.Seed,
+	}
+	run.HostStamp()
+	for _, j := range parseJobsList(jobsCSV) {
+		sj := so
+		sj.Jobs = j
+		// Each point re-runs the full sweep; a shared checkpoint would turn
+		// every point after the first into cache hits and time nothing.
+		sj.Checkpoint, sj.Resume = "", false
+		start := time.Now()
+		results, err := sweep.Run(ctx, jobList, opt, sj)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: scaling jobs=%d: %v\n", j, err)
+			return 1
+		}
+		run.Points = append(run.Points, bench.ScalingPoint{
+			Workers:     j,
+			Cells:       len(results),
+			ElapsedSec:  wall.Seconds(),
+			CellsPerSec: float64(len(results)) / wall.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "tables: scaling jobs=%d: %d cells in %s\n",
+			j, len(results), wall.Round(time.Millisecond))
+	}
+	bench.FinishCurve(run.Points)
+	if err := bench.AppendScaling(out, run); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: scaling record: %v\n", err)
+		return 1
+	}
+	fmt.Print(bench.FormatScaling(run))
+	fmt.Printf("appended scaling run %q to %s\n", label, out)
+	return 0
+}
+
+// parseJobsList parses the -scaling-jobs list, exiting on malformed input.
+func parseJobsList(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "tables: bad -scaling-jobs entry %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "tables: -scaling-jobs lists no jobs values")
+		os.Exit(2)
+	}
+	return out
 }
 
 // printResults renders the merged results in canonical order: one Format

@@ -83,6 +83,11 @@ type Options struct {
 	// Engine selects the simulation model: "buffered" (default, the paper's
 	// node model) or "atomic" (the Section 2 reference model).
 	Engine string
+	// RebalanceEvery forwards sim.Config.RebalanceEvery: occupancy-weighted
+	// shard re-cuts every N cycles (0 = off; only meaningful with Workers > 1
+	// on the buffered engine). Results are identical either way; the knob
+	// only trades re-cut cost against better load balance.
+	RebalanceEvery int
 }
 
 // Filled returns the options with unset fields replaced by the paper's
@@ -254,11 +259,12 @@ func (ex Experiment) RunCtx(ctx context.Context, dims int, opt Options) (Row, er
 	}
 	nodes := 1 << dims
 	cfg := sim.Config{
-		Algorithm: algo,
-		QueueCap:  opt.QueueCap,
-		Policy:    opt.Policy,
-		Seed:      opt.Seed,
-		Workers:   opt.Workers,
+		Algorithm:      algo,
+		QueueCap:       opt.QueueCap,
+		Policy:         opt.Policy,
+		Seed:           opt.Seed,
+		Workers:        opt.Workers,
+		RebalanceEvery: opt.RebalanceEvery,
 	}
 	eng, err := sim.NewSimulator(opt.Engine, cfg)
 	if err != nil {

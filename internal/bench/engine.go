@@ -134,6 +134,10 @@ type EngineBenchRun struct {
 	NumCPU     int    `json:"num_cpu"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+	// BuildID is the VCS revision of the binary that recorded the run
+	// ("dev" under go run/test of a non-VCS tree; empty in runs recorded
+	// before the field existed).
+	BuildID string `json:"build_id,omitempty"`
 	// Note carries free-form context for cross-run comparisons (e.g. "host
 	// slower than previous runs; compare against a same-day baseline").
 	Note    string              `json:"note,omitempty"`
@@ -197,6 +201,7 @@ func RunEngineBench(label string, cfg EngineBenchConfig) (EngineBenchRun, error)
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVersion:  runtime.Version(),
+		BuildID:    BuildID(),
 	}
 	for _, dims := range cfg.Dims {
 		for _, workers := range cfg.Workers {

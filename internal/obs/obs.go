@@ -74,6 +74,24 @@ const (
 	// CInjRetries counts injections deferred by retry-with-backoff because
 	// the node's queue pool was saturated under faults.
 	CInjRetries
+	// CShardRebalances counts shard-boundary recomputations (occupancy-
+	// weighted rebalancing, Config.RebalanceEvery). Like CMailPosts it
+	// describes the parallel machinery (zero with Workers <= 1); see
+	// Canonical.
+	CShardRebalances
+
+	// The phase-time counters accumulate wall-clock nanoseconds per engine
+	// phase, measured at the cycle barrier. They are populated only under
+	// Config.PhaseProf, are wall-clock (hence nondeterministic), and are
+	// zeroed by Canonical. CPhaseMergeNs covers the sequential per-cycle
+	// stats merge; CPhaseOtherNs is the remainder of the cycle (watchdog,
+	// observer probes, fault replay).
+	CPhaseInjectNs
+	CPhaseANs
+	CPhaseBNs
+	CPhaseLinkNs
+	CPhaseMergeNs
+	CPhaseOtherNs
 
 	NumCounters
 )
@@ -82,7 +100,9 @@ var counterNames = [NumCounters]string{
 	"inj_attempts", "inj_backpressure", "injected", "delivered",
 	"moves", "dynamic_moves", "link_transfers", "output_stalls",
 	"wait_parked", "mail_posts", "cutthrough_moves",
-	"misrouted", "fault_drops", "inj_retries",
+	"misrouted", "fault_drops", "inj_retries", "shard_rebalances",
+	"phase_inject_ns", "phase_a_ns", "phase_b_ns", "phase_link_ns",
+	"phase_merge_ns", "phase_other_ns",
 }
 
 // String returns the counter's snake_case metric name.
@@ -198,11 +218,17 @@ func (s *Snapshot) HistMean(h HistID) float64 {
 	return float64(s.HistSum[h]) / float64(s.HistCount[h])
 }
 
-// Canonical returns the snapshot with the two worker-layout-dependent
-// metrics (CMailPosts, GLiveNodes) zeroed. Two runs that differ only in
-// Config.Workers produce bit-identical canonical snapshots.
+// Canonical returns the snapshot with the worker-layout-dependent metrics
+// (CMailPosts, CShardRebalances, GLiveNodes) and the wall-clock phase-time
+// counters zeroed. Two runs that differ only in Config.Workers (or in
+// Config.RebalanceEvery / Config.PhaseProf) produce bit-identical canonical
+// snapshots.
 func (s Snapshot) Canonical() Snapshot {
 	s.Counters[CMailPosts] = 0
+	s.Counters[CShardRebalances] = 0
+	for c := CPhaseInjectNs; c <= CPhaseOtherNs; c++ {
+		s.Counters[c] = 0
+	}
 	s.Gauges[GLiveNodes] = 0
 	return s
 }

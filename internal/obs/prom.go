@@ -20,6 +20,16 @@ var (
 		"Phase (a) scans skipped by the wait-mask cache",
 		"Arrivals posted to a cross-shard mail lane",
 		"Packets forwarded by virtual cut-through",
+		"Non-minimal moves taken because faults emptied the candidate set",
+		"Packets dropped by fault handling",
+		"Injections deferred by retry-with-backoff under faults",
+		"Shard-boundary recomputations (occupancy-weighted rebalancing)",
+		"Wall-clock ns in the injection phase (PhaseProf only)",
+		"Wall-clock ns in node phase (a) (PhaseProf only)",
+		"Wall-clock ns in node phase (b) (PhaseProf only)",
+		"Wall-clock ns in the link phase (PhaseProf only)",
+		"Wall-clock ns in the per-cycle stats merge (PhaseProf only)",
+		"Wall-clock ns in the rest of the cycle (PhaseProf only)",
 	}
 	gaugeHelp = [NumGauges]string{
 		"Packets currently held in central queues",

@@ -1,0 +1,67 @@
+// Steady-state allocation regression: both engines' Step must not allocate
+// once a run is warmed up, with the metrics core on or off — the zero-alloc
+// property the hot-loop scratch buffers exist to provide. Excluded from
+// -race builds: race instrumentation inserts allocations of its own.
+//
+//go:build !race
+
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/traffic"
+)
+
+func TestSteadyStateAllocs(t *testing.T) {
+	cases := []struct {
+		engine  string
+		workers int
+		metrics bool
+	}{
+		{"buffered", 1, false},
+		{"buffered", 1, true},
+		{"buffered", 2, false},
+		{"buffered", 2, true},
+		{"atomic", 1, false},
+		{"atomic", 1, true},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("%s/workers=%d/metrics=%v", tc.engine, tc.workers, tc.metrics)
+		t.Run(name, func(t *testing.T) {
+			algo := core.NewHypercubeAdaptive(6)
+			eng, err := NewSimulator(tc.engine, Config{
+				Algorithm: algo,
+				Seed:      1,
+				Workers:   tc.workers,
+				Metrics:   tc.metrics,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := algo.Topology().Nodes()
+			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, 3)
+			// A plan far longer than the test steps, so Step never completes
+			// (completion tears down run state, which is not the steady state).
+			eng.Start(src, DynamicPlan(0, 1<<30))
+			for i := 0; i < 200; i++ {
+				if done, err := eng.Step(); done {
+					t.Fatalf("warmup finished early: %v", err)
+				}
+			}
+			// AllocsPerRun pins GOMAXPROCS to 1 for the measurement; the
+			// worker pool's parked goroutines then make progress through its
+			// yield path, so multi-worker cells stay measurable.
+			allocs := testing.AllocsPerRun(100, func() {
+				if done, err := eng.Step(); done {
+					t.Fatalf("run finished mid-measurement: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("Step allocates %.1f times per cycle in steady state, want 0", allocs)
+			}
+		})
+	}
+}

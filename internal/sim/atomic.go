@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -80,6 +81,12 @@ type atomicRunState struct {
 	adm       [64]int
 	pm        core.PortMasks
 	chooser   Engine // borrows (*Engine).choose for policy selection
+	// pt accumulates the per-section wall-clock breakdown under PhaseProf
+	// (the atomic model's sections map onto the phase names: injection draws
+	// -> Inject, injection-queue drain -> PhaseB, Route(q) sweep -> PhaseA);
+	// lastCycleEnd anchors OtherNs.
+	pt           PhaseTimes
+	lastCycleEnd time.Time
 
 	active bool
 	done   bool
@@ -296,6 +303,15 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 	if f != nil {
 		e.applyFaultsAtomic(cycle, st)
 	}
+	prof := e.cfg.PhaseProf
+	var t0, t1, t2, t3 time.Time
+	var other int64
+	if prof {
+		t0 = time.Now()
+		if !rs.lastCycleEnd.IsZero() {
+			other = t0.Sub(rs.lastCycleEnd).Nanoseconds()
+		}
+	}
 
 	// Injection attempts, over nodes whose source may still inject.
 	for wi := range e.actBits {
@@ -365,6 +381,10 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		}
 	}
 
+	if prof {
+		t1 = time.Now()
+	}
+
 	// Snapshot the head of every queue: a packet may advance at most
 	// once per cycle, even if it lands in a queue processed later.
 	for qi := range e.qlen {
@@ -400,6 +420,10 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 			sl.full = false
 			st.moves++
 		}
+	}
+
+	if prof {
+		t2 = time.Now()
 	}
 
 	// Route(q) for every queue: advance the head packet if possible.
@@ -579,6 +603,10 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		}
 	}
 
+	if prof {
+		t3 = time.Now()
+	}
+
 	m.Moves += st.moves
 	m.DynamicMoves += st.dynamicMoves
 	m.Injected += st.injected
@@ -603,6 +631,23 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		e.obsCore.Fold(sh)
 	}
 	*st = cycleStats{}
+	if prof {
+		t4 := time.Now()
+		inj := t1.Sub(t0).Nanoseconds()
+		drain := t2.Sub(t1).Nanoseconds()
+		route := t3.Sub(t2).Nanoseconds()
+		merge := t4.Sub(t3).Nanoseconds()
+		rs.pt.add(inj, route, drain, 0, merge, other)
+		rs.lastCycleEnd = t4
+		if e.obsOn {
+			c := e.obsCore
+			c.AddCounter(obs.CPhaseInjectNs, inj)
+			c.AddCounter(obs.CPhaseANs, route)
+			c.AddCounter(obs.CPhaseBNs, drain)
+			c.AddCounter(obs.CPhaseMergeNs, merge)
+			c.AddCounter(obs.CPhaseOtherNs, other)
+		}
+	}
 	m.Cycles = cycle + 1
 	m.InFlight = m.Injected - m.Delivered - m.Dropped
 	if e.obsOn {

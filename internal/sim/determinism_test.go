@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -74,6 +75,79 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestDeterminismRebalance pins the shard-layout-independence contract the
+// occupancy-weighted rebalancer relies on: re-cutting the boundaries mid-run
+// must leave every Metrics field bit-identical to the sequential run, for
+// any worker count, re-cut period, and pipeline (fused or split). The
+// hotspot pattern concentrates queue population on one node, so the re-cut
+// actually moves boundaries instead of reproducing the uniform split.
+func TestDeterminismRebalance(t *testing.T) {
+	run := func(workers, rebalance int, disableFusion bool) Metrics {
+		a := core.NewHypercubeAdaptive(6)
+		nodes := a.Topology().Nodes()
+		e, err := NewEngine(Config{
+			Algorithm:      a,
+			Seed:           12345,
+			Workers:        workers,
+			RebalanceEvery: rebalance,
+			DisableFusion:  disableFusion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewBernoulliSource(traffic.Hotspot{Nodes: nodes, Hot: 3, Fraction: 0.5}, nodes, 0.5, 99)
+		m, err := e.RunDynamic(src, 50, 150)
+		if err != nil {
+			t.Fatalf("workers=%d rebalance=%d: %v", workers, rebalance, err)
+		}
+		return m
+	}
+	want := run(1, 0, false)
+	for _, workers := range []int{2, 7} {
+		for _, rebalance := range []int{0, 8, 64} {
+			for _, df := range []bool{false, true} {
+				if got := run(workers, rebalance, df); got != want {
+					t.Errorf("workers=%d rebalance=%d disableFusion=%v diverged:\n got  %+v\n want %+v",
+						workers, rebalance, df, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDeterminismCanonicalSnapshot extends the contract to the metrics core:
+// the Canonical() view of the final snapshot must be identical across worker
+// counts and rebalancing, so observability artifacts diff clean in CI.
+func TestDeterminismCanonicalSnapshot(t *testing.T) {
+	run := func(workers, rebalance int) [obs.NumCounters]int64 {
+		a := core.NewHypercubeAdaptive(6)
+		nodes := a.Topology().Nodes()
+		e, err := NewEngine(Config{
+			Algorithm:      a,
+			Seed:           7,
+			Workers:        workers,
+			RebalanceEvery: rebalance,
+			Metrics:        true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 0.5, 99)
+		if _, err := e.RunDynamic(src, 50, 150); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap := e.Obs().Latest().Canonical()
+		return snap.Counters
+	}
+	want := run(1, 0)
+	for _, tc := range []struct{ workers, rebalance int }{{2, 0}, {2, 8}, {7, 16}} {
+		if got := run(tc.workers, tc.rebalance); got != want {
+			t.Errorf("workers=%d rebalance=%d: canonical counters diverged:\n got  %v\n want %v",
+				tc.workers, tc.rebalance, got, want)
 		}
 	}
 }

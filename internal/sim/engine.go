@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -155,12 +156,25 @@ type Engine struct {
 
 	obsState
 
-	workers  int
-	chunk    int          // nodes per worker shard, multiple of 64
+	workers int
+	// bounds holds the shard boundaries: worker w owns nodes
+	// [bounds[w], bounds[w+1]). Always 64-aligned (except the final bound,
+	// the node count) so every liveBits/injBits word has exactly one writer;
+	// uniform at reset, re-cut by rebalance when Config.RebalanceEvery asks
+	// for occupancy-weighted sharding.
+	bounds   []int32
+	rebW     []int64      // rebalance scratch: per-64-node-block occupancy weights
 	statsBuf []cycleStats // one per worker
 	scratch  []workerScratch
-	mail     [][][]int32 // mail[dstWorker][srcWorker]: nodes that received a packet
-	pool     *phasePool
+	// mail holds the workers*workers cross-shard arrival lanes, src-major:
+	// lane srcWorker*workers+dstWorker. See mailLane.
+	mail []mailLane
+	pool *phasePool
+	// fuseOK records that the inject/(a)/(b) phases touch only shard-owned
+	// state (no occupancy snapshot, no credited occupancy probes), so one
+	// worker may run them back-to-back and a cycle needs two barriers
+	// instead of four; start() honors Config.DisableFusion/PhaseProf.
+	fuseOK bool
 
 	// Per-run state read by the pool workers; every write is sequenced
 	// before the phase barrier that releases them.
@@ -170,6 +184,19 @@ type Engine struct {
 
 	// rs is the control state of the stepwise run driver (Start/Step).
 	rs runState
+}
+
+// mailLane is one cross-shard arrival lane: the nodes of dstWorker's shard
+// that received a packet from srcWorker's link phase this cycle, folded into
+// dstWorker's worklist at the next cycle's injection phase. Lanes are stored
+// src-major (lane srcWorker*workers+dstWorker), so all the lanes a worker
+// appends to during its link phase are contiguous memory it owns; the pad
+// keeps each slice header on its own cache line, so the appends of adjacent
+// workers (and the fold's header reset in the injection phase) never share a
+// line.
+type mailLane struct {
+	buf []int32
+	_   [40]byte // slice header (24 bytes on 64-bit) padded to a cache line
 }
 
 // workerScratch holds per-worker reusable buffers so the hot loop does not
@@ -192,6 +219,11 @@ type workerScratch struct {
 	// failure was of that kind (the precondition for caching the mask).
 	failMask uint64
 	failOK   bool
+
+	// Tail pad: scratches live one-per-worker in a contiguous slice, and a
+	// trailing cache line guarantees no two workers' written fields ever
+	// share a line regardless of the struct's total size.
+	_ [64]byte
 }
 
 // cycleStats accumulates per-worker observations that are folded into
@@ -208,12 +240,17 @@ type cycleStats struct {
 	latencyMax   int64
 	measured     int64
 	maxQueue     int
-	_            [40]byte // pad to avoid false sharing between workers
+	_            [40]byte // pad: keeps the counters and the shard on separate lines
 
 	// obs is the worker's metric shard, folded into the engine's obs.Core
 	// at the same barrier that merges the fields above. It stays zero (and
 	// unread) unless the engine's metrics core is enabled.
 	obs obs.Shard
+
+	// Tail pad: stats live one-per-worker in a contiguous slice, and a
+	// trailing cache line guarantees no two workers' per-cycle increments
+	// ever share a line regardless of the struct's total size.
+	_ [64]byte
 }
 
 // NewEngine builds a buffered engine for the given configuration. Engines
@@ -323,25 +360,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.qTotal = make([]int32, e.nodes)
 	e.inCount = make([]int32, e.nodes)
 	e.outCount = make([]int32, e.nodes)
-	// Shards are rounded up to whole 64-bit bitmap words so no word is
-	// shared between workers.
-	e.chunk = (((e.nodes+e.workers-1)/e.workers + 63) / 64) * 64
+	e.bounds = make([]int32, e.workers+1)
 	e.owner = make([]int32, e.nodes)
-	for u := 0; u < e.nodes; u++ {
-		e.owner[u] = int32(u / e.chunk)
-	}
+	e.uniformBounds()
+	e.fuseOK = !cfg.RemoteLookahead && !e.atomicOcc
 	e.statsBuf = make([]cycleStats, e.workers)
 	e.scratch = make([]workerScratch, e.workers)
 	for i := range e.scratch {
-		e.scratch[i] = workerScratch{
-			cand: make([]core.Move, 0, 64),
-			adm:  make([]int, 64),
-			lens: make([]int32, e.classes),
-		}
+		e.scratch[i].cand = make([]core.Move, 0, 64)
+		e.scratch[i].adm = make([]int, 64)
+		e.scratch[i].lens = make([]int32, e.classes)
 	}
-	e.mail = make([][][]int32, e.workers)
-	for i := range e.mail {
-		e.mail[i] = make([][]int32, e.workers)
+	e.mail = make([]mailLane, e.workers*e.workers)
+	if e.workers > 1 && cfg.RebalanceEvery > 0 {
+		e.rebW = make([]int64, (e.nodes+63)/64)
 	}
 	e.initObs(&cfg)
 	if e.workers > 1 {
@@ -406,10 +438,12 @@ func (e *Engine) reset() {
 	if tail := uint(e.nodes % 64); tail != 0 {
 		e.injBits[len(e.injBits)-1] = (uint64(1) << tail) - 1
 	}
-	for _, lanes := range e.mail {
-		for i := range lanes {
-			lanes[i] = lanes[i][:0]
-		}
+	for i := range e.mail {
+		e.mail[i].buf = e.mail[i].buf[:0]
+	}
+	if e.cfg.RebalanceEvery > 0 {
+		// A previous run may have left occupancy-weighted boundaries behind.
+		e.uniformBounds()
 	}
 	if e.flt != nil {
 		e.flt.reset()
@@ -421,15 +455,92 @@ func (e *Engine) reset() {
 
 // shard returns worker w's node range.
 func (e *Engine) shard(w int) (lo, hi int) {
-	lo = w * e.chunk
-	hi = lo + e.chunk
-	if lo > e.nodes {
-		lo = e.nodes
+	return int(e.bounds[w]), int(e.bounds[w+1])
+}
+
+// uniformBounds cuts the node range into equal 64-aligned shards (the reset
+// layout) and refreshes the owner table.
+func (e *Engine) uniformBounds() {
+	chunk := (((e.nodes+e.workers-1)/e.workers + 63) / 64) * 64
+	for w := 0; w <= e.workers; w++ {
+		b := w * chunk
+		if b > e.nodes {
+			b = e.nodes
+		}
+		e.bounds[w] = int32(b)
 	}
-	if hi > e.nodes {
-		hi = e.nodes
+	e.setOwners()
+}
+
+// setOwners rebuilds the node -> worker table from the current bounds.
+func (e *Engine) setOwners() {
+	for w := 0; w < e.workers; w++ {
+		lo, hi := e.bounds[w], e.bounds[w+1]
+		for u := lo; u < hi; u++ {
+			e.owner[u] = int32(w)
+		}
 	}
-	return lo, hi
+}
+
+// rebalance re-cuts the shard boundaries so every worker owns roughly the
+// same packet population, at 64-node block granularity (preserving the
+// one-writer-per-bitmap-word invariant). It runs sequentially at the cycle
+// boundary; because no phase ever lets the shard layout influence routing
+// decisions, moving a boundary cannot change the simulation's results — only
+// which worker performs which node's work.
+func (e *Engine) rebalance() {
+	// Pending mail lanes were addressed to the old owners; fold them here so
+	// the coming injection phase finds them empty and no worker updates
+	// counters outside its new shard.
+	for i := range e.mail {
+		for _, v := range e.mail[i].buf {
+			e.inCount[v]++
+			e.setLive(v)
+		}
+		e.mail[i].buf = e.mail[i].buf[:0]
+	}
+	// weight(u) = 1 + qTotal[u]: the constant term keeps empty regions from
+	// collapsing into one shard (every node still costs a worklist probe),
+	// while the queue population tracks where the phase (a)/(b) scans
+	// concentrate.
+	nb := len(e.rebW)
+	total := int64(0)
+	for b := 0; b < nb; b++ {
+		lo := b * 64
+		hi := lo + 64
+		if hi > e.nodes {
+			hi = e.nodes
+		}
+		wt := int64(hi - lo)
+		for u := lo; u < hi; u++ {
+			wt += int64(e.qTotal[u])
+		}
+		e.rebW[b] = wt
+		total += wt
+	}
+	// Boundary w sits at the first block edge whose weight prefix reaches
+	// total*w/workers; successive targets are nondecreasing, so the scan
+	// resumes where the previous boundary left off.
+	prefix := int64(0)
+	b := 0
+	for w := 1; w < e.workers; w++ {
+		target := total * int64(w) / int64(e.workers)
+		for b < nb && prefix < target {
+			prefix += e.rebW[b]
+			b++
+		}
+		bound := b * 64
+		if bound > e.nodes {
+			bound = e.nodes
+		}
+		e.bounds[w] = int32(bound)
+	}
+	e.bounds[0] = 0
+	e.bounds[e.workers] = int32(e.nodes)
+	e.setOwners()
+	if e.obsOn {
+		e.statsBuf[0].obs.Inc(obs.CShardRebalances)
+	}
 }
 
 func (e *Engine) setLive(u int32) {
@@ -596,6 +707,14 @@ type runState struct {
 	m         Metrics
 
 	inject, phaseA, phaseB, link func(int)
+	// fused runs inject+(a)+(b) back-to-back per worker (one barrier instead
+	// of three); non-nil only when the engine's fuseOK holds and neither
+	// DisableFusion nor PhaseProf forces the split pipeline.
+	fused func(int)
+	// pt accumulates the per-phase wall-clock breakdown under PhaseProf;
+	// lastCycleEnd anchors OtherNs (the inter-phase remainder of each cycle).
+	pt           PhaseTimes
+	lastCycleEnd time.Time
 
 	active bool // Start was called
 	done   bool // the run finished; res/err hold the outcome
@@ -623,6 +742,18 @@ func (e *Engine) start(src TrafficSource, win runWindow, stopAt, maxCycles int64
 		phaseB: func(w int) { e.workerPhaseB(w) },
 		link:   func(w int) { e.workerLink(w) },
 	}
+	if e.fuseOK && !e.cfg.DisableFusion && !e.cfg.PhaseProf {
+		// Inject/(a)/(b) touch only shard-owned state here (no occupancy
+		// snapshot, no credited probes), so one worker can run them
+		// back-to-back: the cycle pays two barriers instead of four. The
+		// link phase still needs its own barrier — it writes remote input
+		// buffers and reads remote inFull flags.
+		e.rs.fused = func(w int) {
+			e.workerInject(w)
+			e.workerPhaseA(w)
+			e.workerPhaseB(w)
+		}
+	}
 }
 
 // end records the run's outcome (firing OnDone exactly once) and releases
@@ -632,7 +763,7 @@ func (e *Engine) end(wasCanceled bool, err error) {
 	rs.res = e.finish(rs.m, wasCanceled)
 	rs.err = err
 	rs.done = true
-	rs.inject, rs.phaseA, rs.phaseB, rs.link = nil, nil, nil, nil
+	rs.inject, rs.phaseA, rs.phaseB, rs.link, rs.fused = nil, nil, nil, nil, nil
 	rs.src = nil
 	e.curSrc = nil
 	if e.pool != nil {
@@ -670,11 +801,55 @@ func (e *Engine) Step() (done bool, err error) {
 		// parallel phases observe the liveness masks.
 		e.applyFaults(cycle, &e.statsBuf[0])
 	}
-	e.exec(rs.inject)
-	e.exec(rs.phaseA)
-	e.exec(rs.phaseB)
-	e.exec(rs.link)
-	e.mergeCycle(m)
+	if e.workers > 1 && e.cfg.RebalanceEvery > 0 && cycle > 0 &&
+		cycle%int64(e.cfg.RebalanceEvery) == 0 {
+		e.rebalance()
+	}
+	switch {
+	case e.cfg.PhaseProf:
+		// Timed split pipeline: each phase's figure includes its barrier, so
+		// synchronization cost is charged to the phase that paid it. OtherNs
+		// is everything between the previous cycle's merge and this cycle's
+		// injection (watchdog, faults, observer probes, plan bookkeeping).
+		t0 := time.Now()
+		other := int64(0)
+		if !rs.lastCycleEnd.IsZero() {
+			other = t0.Sub(rs.lastCycleEnd).Nanoseconds()
+		}
+		e.exec(rs.inject)
+		t1 := time.Now()
+		e.exec(rs.phaseA)
+		t2 := time.Now()
+		e.exec(rs.phaseB)
+		t3 := time.Now()
+		e.exec(rs.link)
+		t4 := time.Now()
+		e.mergeCycle(m)
+		t5 := time.Now()
+		rs.pt.add(t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(),
+			t3.Sub(t2).Nanoseconds(), t4.Sub(t3).Nanoseconds(),
+			t5.Sub(t4).Nanoseconds(), other)
+		rs.lastCycleEnd = t5
+		if e.obsOn {
+			c := e.obsCore
+			c.AddCounter(obs.CPhaseInjectNs, t1.Sub(t0).Nanoseconds())
+			c.AddCounter(obs.CPhaseANs, t2.Sub(t1).Nanoseconds())
+			c.AddCounter(obs.CPhaseBNs, t3.Sub(t2).Nanoseconds())
+			c.AddCounter(obs.CPhaseLinkNs, t4.Sub(t3).Nanoseconds())
+			c.AddCounter(obs.CPhaseMergeNs, t5.Sub(t4).Nanoseconds())
+			c.AddCounter(obs.CPhaseOtherNs, other)
+		}
+	case rs.fused != nil:
+		e.exec(rs.fused)
+		e.exec(rs.link)
+		e.mergeCycle(m)
+	default:
+		e.exec(rs.inject)
+		e.exec(rs.phaseA)
+		e.exec(rs.phaseB)
+		e.exec(rs.link)
+		e.mergeCycle(m)
+	}
 	m.Cycles = cycle + 1
 	m.InFlight = m.Injected - m.Delivered - m.Dropped
 	if e.obsOn {
@@ -740,7 +915,7 @@ func (e *Engine) run(ctx context.Context, src TrafficSource, win runWindow, stop
 		// engine's closures, and curSrc must not leak across runs.
 		if !e.rs.done {
 			e.curSrc = nil
-			e.rs.src, e.rs.inject, e.rs.phaseA, e.rs.phaseB, e.rs.link = nil, nil, nil, nil, nil
+			e.rs.src, e.rs.inject, e.rs.phaseA, e.rs.phaseB, e.rs.link, e.rs.fused = nil, nil, nil, nil, nil, nil
 			if e.pool != nil {
 				e.pool.clear()
 			}
@@ -833,12 +1008,17 @@ func (e *Engine) mergeCycle(m *Metrics) {
 // then snapshots the shard's queue occupancy when RemoteLookahead needs it,
 // then lets every source-active node attempt one injection.
 func (e *Engine) workerInject(w int) {
-	for src, lane := range e.mail[w] {
-		for _, v := range lane {
+	nw := e.workers
+	for src := 0; src < nw; src++ {
+		lane := &e.mail[src*nw+w]
+		if len(lane.buf) == 0 {
+			continue
+		}
+		for _, v := range lane.buf {
 			e.inCount[v]++
 			e.setLive(v)
 		}
-		e.mail[w][src] = lane[:0]
+		lane.buf = lane.buf[:0]
 	}
 	lo, hi := e.shard(w)
 	if lo >= hi {
@@ -1677,7 +1857,8 @@ func (e *Engine) linkTransfer(u int32, l, p, w int, st *cycleStats) {
 			e.inCount[v]++
 			e.setLive(v)
 		} else {
-			e.mail[dw][w] = append(e.mail[dw][w], v)
+			lane := &e.mail[w*e.workers+int(dw)]
+			lane.buf = append(lane.buf, v)
 			if e.obsOn {
 				st.obs.Inc(obs.CMailPosts)
 			}

@@ -1,0 +1,47 @@
+package sim
+
+// PhaseTimes is the per-phase wall-clock breakdown of a run, accumulated at
+// the cycle barrier when Config.PhaseProf is set (all fields stay zero
+// otherwise). It answers the scaling question "which phase limits the
+// speedup": the parallel phases (inject, node (a), node (b), link) should
+// shrink with the worker count while the sequential sections (merge, other)
+// stay flat — whichever dominates at high worker counts is the bottleneck.
+//
+// The times are measured around the coordinator's phase dispatch, so each
+// parallel phase's figure includes its barrier (release, spin, wake): the
+// breakdown deliberately charges synchronization to the phase that paid it.
+type PhaseTimes struct {
+	InjectNs int64 // injection phase (incl. mail-lane fold)
+	PhaseANs int64 // node phase (a): queues -> output buffers
+	PhaseBNs int64 // node phase (b): input buffers -> queues
+	LinkNs   int64 // link phase (0 for the atomic engine, which has no links)
+	MergeNs  int64 // sequential per-cycle stats/metric merge
+	OtherNs  int64 // rest of the cycle: watchdog, observer probes, fault replay
+	Cycles   int64 // cycles the breakdown covers
+}
+
+// TotalNs returns the summed wall time across all phases.
+func (p PhaseTimes) TotalNs() int64 {
+	return p.InjectNs + p.PhaseANs + p.PhaseBNs + p.LinkNs + p.MergeNs + p.OtherNs
+}
+
+// add accumulates one cycle's phase samples.
+func (p *PhaseTimes) add(inject, a, b, link, merge, other int64) {
+	p.InjectNs += inject
+	p.PhaseANs += a
+	p.PhaseBNs += b
+	p.LinkNs += link
+	p.MergeNs += merge
+	p.OtherNs += other
+	p.Cycles++
+}
+
+// PhaseTimes returns the accumulated per-phase breakdown of the current (or
+// finished) run; all zero unless Config.PhaseProf was set.
+func (e *Engine) PhaseTimes() PhaseTimes { return e.rs.pt }
+
+// PhaseTimes returns the atomic engine's per-phase breakdown; the atomic
+// model's "phases" are its three sequential sections: injection draws map to
+// InjectNs, the injection-queue drain to PhaseBNs, and the Route(q) sweep to
+// PhaseANs (there is no link phase).
+func (e *AtomicEngine) PhaseTimes() PhaseTimes { return e.rs.pt }

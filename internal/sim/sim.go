@@ -105,6 +105,30 @@ type Config struct {
 	// Workers > 1 shards the nodes across goroutines with barriers between
 	// the phases of a cycle. 0 or 1 means sequential.
 	Workers int
+	// RebalanceEvery > 0 recomputes the worker-shard boundaries every that
+	// many cycles, weighting nodes by their central-queue occupancy (the
+	// barrier-merged qTotal counters), so a congestion hot spot does not
+	// leave most workers idle behind one overloaded shard. Boundaries stay
+	// 64-aligned (the single-writer bitmap invariant), the recomputation
+	// runs in the sequential section of the cycle, and its input is
+	// simulation state only — results remain bit-identical for any worker
+	// count, with rebalancing on or off. Ignored with Workers <= 1.
+	// 0 disables rebalancing.
+	RebalanceEvery int
+	// PhaseProf measures the wall-clock time of each engine phase (inject,
+	// node (a), node (b), link, stats merge) at the cycle barrier,
+	// accumulated into PhaseTimes and — when the metrics core is on — the
+	// obs phase-time counters. Profiling forces the unfused four-barrier
+	// pipeline so each phase is individually observable; expect a few
+	// percent of overhead. Off by default: the hot loop then pays one
+	// predictable branch per phase.
+	PhaseProf bool
+	// DisableFusion forces a barrier between every phase of a cycle even
+	// when the configuration would allow the inject/(a)/(b) phases to run
+	// back-to-back per worker (see Engine docs). Fusion never changes
+	// results; the switch exists for the determinism tests that pin that
+	// claim and for before/after benchmarking of the barrier cost.
+	DisableFusion bool
 	// DeadlockWindow is the number of consecutive cycles without any packet
 	// movement (while packets remain in the network) after which the run
 	// aborts with ErrDeadlock. Default 1000.
@@ -197,6 +221,9 @@ func (c *Config) fill() error {
 	}
 	if c.Workers < 1 {
 		c.Workers = 1
+	}
+	if c.RebalanceEvery < 0 {
+		return fmt.Errorf("sim: RebalanceEvery must be >= 0, got %d", c.RebalanceEvery)
 	}
 	if c.DeadlockWindow == 0 {
 		c.DeadlockWindow = 1000

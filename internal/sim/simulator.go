@@ -33,6 +33,9 @@ type Simulator interface {
 	// Obs returns the simulator's metrics core, or nil when observability is
 	// off.
 	Obs() *obs.Core
+	// PhaseTimes returns the per-phase wall-clock breakdown accumulated so
+	// far; all zero unless Config.PhaseProf was set.
+	PhaseTimes() PhaseTimes
 	// Algorithm returns the routing algorithm under simulation.
 	Algorithm() core.Algorithm
 }

@@ -7,7 +7,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime/debug"
 	"sync"
 
 	"repro/internal/bench"
@@ -59,31 +58,7 @@ func engineName(engine string) string {
 // when the binary carries no VCS metadata (go test, go run of a non-VCS
 // tree). Rebuilding at a different revision therefore invalidates
 // checkpoints instead of resuming across code changes.
-func BuildID() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "dev"
-	}
-	var rev, modified string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			modified = s.Value
-		}
-	}
-	if rev == "" {
-		return "dev"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	if modified == "true" {
-		rev += "+dirty"
-	}
-	return rev
-}
+func BuildID() string { return bench.BuildID() }
 
 // Journal appends completed cells to a JSONL checkpoint file. Appends are
 // serialized and each entry is written with a single Write followed by

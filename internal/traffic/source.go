@@ -94,14 +94,25 @@ func (s *BernoulliSource) Exhausted(int32) bool { return false }
 
 // RecordingSource wraps a source and records every taken (src, dst) pair;
 // tests use it to check conservation (everything injected is delivered).
+//
+// By default the record grows without bound — fine for the bounded static
+// runs the conservation tests drive, but a dynamic source feeding a long run
+// would accumulate one entry per injection for the whole run. Set Cap to
+// bound the memory: the record then keeps only the most recent Cap entries
+// (a ring), and TotalTaken still counts every injection.
 type RecordingSource struct {
 	Inner interface {
 		Wants(node int32, cycle int64) bool
 		Take(node int32, cycle int64) int32
 		Exhausted(node int32) bool
 	}
+	// Cap bounds the record to the most recent Cap entries (0 = unbounded).
+	// Set it before the first Take; changing it mid-run is not supported.
+	Cap int
 
 	mu    sync.Mutex
+	total int64
+	next  int // ring write position, used once len(Taken) == Cap
 	Taken []TakenPacket
 }
 
@@ -116,9 +127,41 @@ func (r *RecordingSource) Wants(node int32, cycle int64) bool { return r.Inner.W
 func (r *RecordingSource) Take(node int32, cycle int64) int32 {
 	dst := r.Inner.Take(node, cycle)
 	r.mu.Lock()
-	r.Taken = append(r.Taken, TakenPacket{Src: node, Dst: dst, Cycle: cycle})
+	r.total++
+	tp := TakenPacket{Src: node, Dst: dst, Cycle: cycle}
+	if r.Cap > 0 && len(r.Taken) >= r.Cap {
+		r.Taken[r.next] = tp
+		r.next++
+		if r.next == r.Cap {
+			r.next = 0
+		}
+	} else {
+		r.Taken = append(r.Taken, tp)
+	}
 	r.mu.Unlock()
 	return dst
 }
 
 func (r *RecordingSource) Exhausted(node int32) bool { return r.Inner.Exhausted(node) }
+
+// TotalTaken returns the number of injections ever recorded, including
+// entries a Cap ring has since overwritten.
+func (r *RecordingSource) TotalTaken() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Recent returns the recorded entries in oldest-first order, undoing the
+// ring rotation when Cap is set. The slice is a copy.
+func (r *RecordingSource) Recent() []TakenPacket {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TakenPacket, 0, len(r.Taken))
+	if r.Cap > 0 && len(r.Taken) >= r.Cap {
+		out = append(out, r.Taken[r.next:]...)
+		out = append(out, r.Taken[:r.next]...)
+		return out
+	}
+	return append(out, r.Taken...)
+}

@@ -231,6 +231,31 @@ func TestRecordingSource(t *testing.T) {
 	}
 }
 
+func TestRecordingSourceCap(t *testing.T) {
+	inner := NewStaticSource(Random{Nodes: 2}, 1, 10, 1)
+	rec := &RecordingSource{Inner: inner, Cap: 4}
+	for c := int64(0); c < 10; c++ {
+		if rec.Wants(0, c) {
+			rec.Take(0, c)
+		}
+	}
+	if len(rec.Taken) != 4 {
+		t.Fatalf("capped record holds %d entries, want 4", len(rec.Taken))
+	}
+	if got := rec.TotalTaken(); got != 10 {
+		t.Errorf("TotalTaken = %d, want 10", got)
+	}
+	recent := rec.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("Recent returned %d entries, want 4", len(recent))
+	}
+	for i, tp := range recent {
+		if want := int64(6 + i); tp.Cycle != want {
+			t.Errorf("Recent[%d].Cycle = %d, want %d (oldest-first ring order)", i, tp.Cycle, want)
+		}
+	}
+}
+
 func TestFixedDestinations(t *testing.T) {
 	ds := FixedDestinations(Complement{Bits: 2}, 4)
 	if len(ds) != 4 {
