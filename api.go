@@ -7,20 +7,31 @@
 //   - routing algorithms (NewAlgorithm or the core constructors),
 //   - traffic patterns and injection models (NewPattern, NewStaticTraffic,
 //     NewDynamicTraffic),
-//   - the two simulators (NewEngine for the cycle-accurate buffered node
-//     model of the paper's Sections 6-7, NewAtomicEngine for the abstract
-//     queue-to-queue model of Section 2),
+//   - the simulators behind the engine-agnostic Simulator API
+//     (NewSimulator("buffered", cfg) for the cycle-accurate node model of
+//     the paper's Sections 6-7, NewSimulator("atomic", cfg) for the
+//     abstract queue-to-queue model of Section 2),
+//   - the canonical RunSpec: a serializable description of a complete run
+//     that validates, fingerprints and builds (RunSpec.Build, ExecuteSpec)
+//     — the same currency the tables sweep, the result store and the
+//     routesimd HTTP daemon trade in,
 //   - the queue-dependency-graph verifier (VerifyDeadlockFree, WriteQDG),
 //   - the experiment harness that regenerates the paper's Tables 1-12
 //     (Tables, FindTable).
+//
+// The concrete-engine constructors NewEngine and NewAtomicEngine are
+// deprecated in favor of NewSimulator and RunSpec.Build; they keep working
+// through v0.x.
 //
 // See examples/quickstart for a complete end-to-end program.
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/qdg"
@@ -105,6 +116,34 @@ const (
 	PolicyLastFree    = sim.PolicyLastFree
 )
 
+// ParsePolicy parses a textual policy name ("first-free", "random",
+// "static-first", "last-free"; "" means first-free) into a selection
+// policy.
+func ParsePolicy(s string) (sim.Policy, error) { return sim.ParsePolicy(s) }
+
+// The canonical RunSpec API: one serializable description of a complete
+// run — algorithm, pattern, engine kind, policy, seed, injection model,
+// faults — shared by the library, the tables sweep and the routesimd
+// daemon. A RunSpec validates (Validate, with structured SpecFieldError
+// field errors), fingerprints (Fingerprint: the content address results
+// are cached under), and builds (Build: a configured Simulator).
+type (
+	// RunSpec is the canonical, versioned run description (internal/exec).
+	RunSpec = exec.RunSpec
+	// SpecResult pairs a RunSpec with the metrics it produced, plus the
+	// fingerprint and build identity — the unit the result store persists.
+	SpecResult = exec.Result
+	// SpecFieldError reports which RunSpec field failed validation and why.
+	SpecFieldError = exec.FieldError
+)
+
+// ExecuteSpec validates and runs a RunSpec to completion (or ctx
+// cancellation), with an optional read-only observer tapping the run. The
+// returned SpecResult.Metrics is bit-deterministic for a given fingerprint.
+func ExecuteSpec(ctx context.Context, s RunSpec, o Observer) (SpecResult, error) {
+	return exec.Run(ctx, s, o)
+}
+
 // Metric identifiers, for indexing a MetricSnapshot's counters, gauges and
 // histograms (see internal/obs for the semantics of each).
 type (
@@ -182,9 +221,18 @@ func StaticPlan(maxCycles int64) Plan { return sim.StaticPlan(maxCycles) }
 func DynamicPlan(warmup, measure int64) Plan { return sim.DynamicPlan(warmup, measure) }
 
 // NewEngine returns the buffered cycle-accurate simulator for cfg.
+//
+// Deprecated: use NewSimulator("buffered", cfg), which returns the same
+// engine behind the engine-agnostic Simulator API, or build the whole run
+// from a serializable RunSpec via RunSpec.Build. NewEngine remains
+// supported through the v0.x line; new code should not need the concrete
+// *Engine type.
 func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
 
 // NewAtomicEngine returns the abstract queue-to-queue simulator for cfg.
+//
+// Deprecated: use NewSimulator("atomic", cfg) or RunSpec.Build; see
+// NewEngine.
 func NewAtomicEngine(cfg Config) (*AtomicEngine, error) { return sim.NewAtomicEngine(cfg) }
 
 // EngineNames lists the engine kinds accepted by NewSimulator.

@@ -152,18 +152,8 @@ func main() {
 	if *httpAddr != "" {
 		cfg.Metrics = true
 	}
-	switch *policy {
-	case "first-free":
-		cfg.Policy = repro.PolicyFirstFree
-	case "random":
-		cfg.Policy = repro.PolicyRandom
-	case "static-first":
-		cfg.Policy = repro.PolicyStaticFirst
-	case "last-free":
-		cfg.Policy = repro.PolicyLastFree
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
-	}
+	cfg.Policy, err = repro.ParsePolicy(*policy)
+	fatal(err)
 
 	// Build the engine up front so -http can expose its live metrics core.
 	sim, err := repro.NewSimulator(*engine, cfg)

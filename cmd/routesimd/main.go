@@ -1,0 +1,71 @@
+// Command routesimd serves simulations over HTTP: POST a JSON RunSpec to
+// /v1/sim and get the run's metrics back, content-addressed by the spec's
+// fingerprint so identical specs after the first are served from the result
+// store without simulating.
+//
+//	routesimd -addr :8080 -cache results.jsonl -jobs 4 -budget 8
+//
+//	curl -s localhost:8080/v1/sim -d '{"v":1,"algo":"hypercube-adaptive:6","seed":1}'
+//
+// Progress streams as SSE with -H 'Accept: text/event-stream' (or
+// ?stream=sse); /metrics is Prometheus text; /debug/pprof is mounted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.String("cache", "", "result store backing file (JSONL, append-only); empty = in-memory only")
+	lru := flag.Int("lru", 0, "max results held in memory (0 = unbounded; evicted results re-simulate)")
+	jobs := flag.Int("jobs", 1, "max concurrently executing simulations")
+	budget := flag.Int("budget", runtime.GOMAXPROCS(0), "total worker budget split across executing simulations")
+	queue := flag.Int("queue", 16, "pending-request queue capacity; beyond it requests get 429")
+	maxCost := flag.Float64("maxcost", 0, "reject specs above this estimated cost in node-cycles (0 = no limit)")
+	runTimeout := flag.Duration("run-timeout", 0, "wall-clock bound per simulation (0 = unbounded)")
+	flag.Parse()
+
+	st, err := store.Open(*cache, store.Options{LRUCap: *lru})
+	if err != nil {
+		log.Fatalf("routesimd: open store: %v", err)
+	}
+	defer st.Close()
+
+	srv, err := daemon.New(daemon.Config{
+		Store:      st,
+		Jobs:       *jobs,
+		Budget:     *budget,
+		QueueCap:   *queue,
+		MaxCost:    *maxCost,
+		RunTimeout: *runTimeout,
+	})
+	if err != nil {
+		log.Fatalf("routesimd: %v", err)
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "routesimd: shutting down")
+		hs.Close()
+	}()
+	log.Printf("routesimd: listening on %s (store %q, %d entries)", *addr, *cache, st.Len())
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("routesimd: %v", err)
+	}
+}

@@ -6,11 +6,15 @@
 //	tables [-table tableK] [-maxn 14] [-seed 1] [-cap 5] [-algo adaptive]
 //	       [-warmup 500] [-measure 1500] [-policy first-free]
 //	       [-jobs 4] [-budget 8] [-checkpoint sweep.jsonl] [-resume] [-progress]
+//	       [-cache results.jsonl]
 //
 // The sweep runs through the internal/sweep orchestrator: cells are
 // scheduled longest-first onto -jobs concurrent slots sharing a -budget
 // worker pool, and -checkpoint/-resume journal completed cells so a killed
-// sweep picks up where it left off. The full sweep up to n=14 (16K nodes)
+// sweep picks up where it left off. -cache FILE is shorthand for
+// "-checkpoint FILE -resume": treat the journal as a persistent result
+// cache, so repeated invocations replay completed cells instead of
+// simulating them again. The full sweep up to n=14 (16K nodes)
 // costs a few core-hours of simulation, dominated by the dynamic (λ=1)
 // experiments — run it with -jobs set to the core count; -maxn 12 finishes
 // in a few minutes even sequentially and already shows every trend.
@@ -51,7 +55,7 @@ func main() {
 		algo       = flag.String("algo", "adaptive", "algorithm variant: adaptive|hung|ecube")
 		warmup     = flag.Int64("warmup", 500, "dynamic runs: warmup cycles")
 		measure    = flag.Int64("measure", 1500, "dynamic runs: measured cycles")
-		policy     = flag.String("policy", "first-free", "selection policy: first-free|random|static-first")
+		policy     = flag.String("policy", "first-free", "selection policy: first-free|random|static-first|last-free")
 		workers    = flag.Int("workers", 0, "force this many workers per simulation (0 = let the scheduler decide)")
 		engine     = flag.String("engine", "buffered", "simulation model: buffered (paper's node model) | atomic (Section 2)")
 		jobs       = flag.Int("jobs", 1, "concurrent experiment cells")
@@ -62,6 +66,7 @@ func main() {
 		stopAfter  = flag.Int("stop-after", 0, "stop (exit 3) after completing this many cells; for checkpoint testing")
 		benchOut   = flag.String("bench", "", "append sweep wall-clock record to this JSON file")
 		benchLabel = flag.String("bench-label", "", "label for the -bench record")
+		cache      = flag.String("cache", "", "result cache file: shorthand for -checkpoint FILE -resume (completed cells persist and replay across runs)")
 		rebalance  = flag.Int("rebalance", 0, "occupancy-weighted shard re-cut period in cycles (0 = off; buffered cells with workers > 1)")
 		scalingOut = flag.String("scaling", "", "scaling mode: rerun the sweep once per -scaling-jobs value and append a cells/s curve to this JSON file")
 		scalingJob = flag.String("scaling-jobs", "1,2", "scaling mode: comma-separated -jobs values to sweep")
@@ -77,17 +82,16 @@ func main() {
 		Engine:         *engine,
 		RebalanceEvery: *rebalance,
 	}
-	switch *policy {
-	case "first-free":
-		opt.Policy = sim.PolicyFirstFree
-	case "random":
-		opt.Policy = sim.PolicyRandom
-	case "static-first":
-		opt.Policy = sim.PolicyStaticFirst
-	case "last-free":
-		opt.Policy = sim.PolicyLastFree
-	default:
-		fmt.Fprintf(os.Stderr, "tables: unknown policy %q\n", *policy)
+	p, err := sim.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(2)
+	}
+	opt.Policy = p
+	if *engine == "atomic" && *workers > 1 {
+		// The RunSpec path rejects this combination rather than silently
+		// ignoring Workers; surface the same rule at the flag layer.
+		fmt.Fprintln(os.Stderr, "tables: -workers > 1 with -engine atomic: the atomic engine is inherently sequential; drop -workers or use -engine buffered")
 		os.Exit(2)
 	}
 
@@ -96,8 +100,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *cache != "" {
+		// -cache FILE is the content-addressed spelling of the checkpoint
+		// machinery: persist completed cells and replay them on the next run.
+		if *checkpoint != "" && *checkpoint != *cache {
+			fmt.Fprintln(os.Stderr, "tables: -cache and -checkpoint name different files; pick one")
+			os.Exit(2)
+		}
+		*checkpoint = *cache
+		*resume = true
+	}
 	if *resume && *checkpoint == "" {
-		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
+		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint (or use -cache)")
 		os.Exit(2)
 	}
 

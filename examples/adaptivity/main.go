@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,14 +41,15 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 11})
+			eng, err := repro.NewSimulator("buffered", repro.Config{Algorithm: algo, Seed: 11})
 			if err != nil {
 				log.Fatal(err)
 			}
-			m, err := eng.RunStatic(repro.NewStaticTraffic(pat, algo, dims, 13), 10_000_000)
+			res, err := eng.Run(context.Background(), repro.NewStaticTraffic(pat, algo, dims, 13), repro.StaticPlan(10_000_000))
 			if err != nil {
 				log.Fatal(err)
 			}
+			m := res.Metrics
 			fmt.Printf("%-12s | %-18s | %8d %8.2f %8d | %d\n",
 				p, name, m.Cycles, m.AvgLatency(), m.LatencyMax, algo.NumClasses())
 		}

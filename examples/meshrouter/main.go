@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,12 +42,12 @@ var variants = []variant{
 	{"mesh-xy:16x16", 5},
 }
 
-func engine(v variant) (repro.Algorithm, *repro.Engine) {
+func engine(v variant) (repro.Algorithm, repro.Simulator) {
 	algo, err := repro.NewAlgorithm(v.spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 3, QueueCap: v.cap})
+	eng, err := repro.NewSimulator("buffered", repro.Config{Algorithm: algo, Seed: 3, QueueCap: v.cap})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,10 +65,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := eng.RunStatic(repro.NewStaticTraffic(pat, algo, 16, 9), 10_000_000)
+		res, err := eng.Run(context.Background(), repro.NewStaticTraffic(pat, algo, 16, 9), repro.StaticPlan(10_000_000))
 		if err != nil {
 			log.Fatal(err)
 		}
+		m := res.Metrics
 		fmt.Printf("  %-16s %8d %8.2f %8d %9.1f%%\n",
 			algo.Name(), m.Cycles, m.AvgLatency(), m.LatencyMax,
 			100*float64(m.DynamicMoves)/float64(m.Moves))
@@ -81,10 +83,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, 0.15, 9), 500, 2000)
+		res, err := eng.Run(context.Background(), repro.NewDynamicTraffic(pat, algo, 0.15, 9), repro.DynamicPlan(500, 2000))
 		if err != nil {
 			log.Fatal(err)
 		}
+		m := res.Metrics
 		fmt.Printf("  %-16s %8.2f %8d %7.0f%%\n",
 			algo.Name(), m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate())
 	}
@@ -97,10 +100,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, 0.6, 9), 500, 2000)
+		res, err := eng.Run(context.Background(), repro.NewDynamicTraffic(pat, algo, 0.6, 9), repro.DynamicPlan(500, 2000))
 		if err != nil {
 			log.Fatal(err)
 		}
+		m := res.Metrics
 		fmt.Printf("  %-16s %8.2f %8d %7.0f%%\n",
 			algo.Name(), m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate())
 	}

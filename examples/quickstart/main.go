@@ -89,4 +89,24 @@ func main() {
 	last := smp.Samples[len(smp.Samples)-1]
 	fmt.Printf("sampled: %d occupancy points; at cycle %d the queues held %d packets\n",
 		len(smp.Samples), last.Cycle, last.QueueOcc)
+
+	// 4. The same dynamic run, described as a canonical RunSpec — the
+	// serializable JSON form the routesimd daemon accepts over HTTP and the
+	// result store caches. Identical specs yield bit-identical metrics, so
+	// the spec's fingerprint is a content address for its result.
+	spec := repro.RunSpec{
+		Algo:    "hypercube-adaptive:8",
+		Pattern: "random",
+		Inject:  "dynamic",
+		Lambda:  1,
+		Warmup:  300,
+		Measure: 1000,
+		Seed:    1,
+	}
+	sres, err := repro.ExecuteSpec(context.Background(), spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runspec: fingerprint %s, Lavg=%.2f (bit-identical to the dynamic run: %v)\n",
+		sres.FP, sres.Metrics.AvgLatency(), sres.Metrics == m)
 }

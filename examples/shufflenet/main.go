@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,16 +55,17 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			eng, err := repro.NewEngine(repro.Config{Algorithm: a, Seed: 3, QueueCap: cap})
+			eng, err := repro.NewSimulator("buffered", repro.Config{Algorithm: a, Seed: 3, QueueCap: cap})
 			if err != nil {
 				log.Fatal(err)
 			}
 			// The engine asserts MaxHops (3n) at every delivery, so a
 			// successful drain is itself the Theorem 3 check.
-			m, err := eng.RunStatic(repro.NewStaticTraffic(pat, a, 8, 9), 10_000_000)
+			res, err := eng.Run(context.Background(), repro.NewStaticTraffic(pat, a, 8, 9), repro.StaticPlan(10_000_000))
 			if err != nil {
 				log.Fatal(err)
 			}
+			m := res.Metrics
 			fmt.Printf("  %-16s %4d | %8d %8.2f %8d | all %d deliveries within bound\n",
 				spec, cap, m.Cycles, m.AvgLatency(), m.LatencyMax, m.Delivered)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := repro.NewEngine(repro.Config{Algorithm: algo, Seed: 3})
+	eng, err := repro.NewSimulator("buffered", repro.Config{Algorithm: algo, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,10 +37,11 @@ func main() {
 	fmt.Println("\n8x8 torus, uniform random traffic, buffered node model:")
 	fmt.Printf("  %6s | %8s %8s %8s %12s\n", "lambda", "Lavg", "Lmax", "Ir%", "delivered/cyc")
 	for _, lambda := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0} {
-		m, err := eng.RunDynamic(repro.NewDynamicTraffic(pat, algo, lambda, 9), 500, 2000)
+		res, err := eng.Run(context.Background(), repro.NewDynamicTraffic(pat, algo, lambda, 9), repro.DynamicPlan(500, 2000))
 		if err != nil {
 			log.Fatal(err)
 		}
+		m := res.Metrics
 		perCycle := float64(m.Delivered) / float64(m.Cycles) / float64(algo.Topology().Nodes())
 		fmt.Printf("  %6.2f | %8.2f %8d %7.0f%% %12.3f\n",
 			lambda, m.AvgLatency(), m.LatencyMax, 100*m.InjectionRate(), perCycle)

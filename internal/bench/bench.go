@@ -14,8 +14,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/sim"
-	"repro/internal/traffic"
 )
 
 // PatternKind names the four communication patterns of Section 7.1.
@@ -192,21 +192,6 @@ func algorithm(dims int, opt Options) (core.Algorithm, error) {
 	return nil, fmt.Errorf("bench: unknown algorithm variant %q", opt.Algorithm)
 }
 
-// pattern builds the traffic pattern for a run.
-func pattern(kind PatternKind, dims int, seed int64) (traffic.Pattern, error) {
-	switch kind {
-	case Random:
-		return traffic.Random{Nodes: 1 << dims}, nil
-	case Compl:
-		return traffic.Complement{Bits: dims}, nil
-	case Transp:
-		return traffic.Transpose{Bits: dims}, nil
-	case Leveled:
-		return traffic.NewLeveled(dims, seed), nil
-	}
-	return nil, fmt.Errorf("bench: unknown pattern %q", kind)
-}
-
 // paperRow returns the published values for dims, or a zero row.
 func (ex Experiment) paperRow(dims int) PaperRow {
 	for _, r := range ex.Paper {
@@ -245,52 +230,57 @@ func (ex Experiment) Run(dims int, opt Options) (Row, error) {
 	return ex.RunCtx(nil, dims, opt)
 }
 
-// RunCtx is Run with cancellation: the simulation stops within one cycle of
-// ctx being canceled and the cell returns ctx's error.
-func (ex Experiment) RunCtx(ctx context.Context, dims int, opt Options) (Row, error) {
+// Spec translates one table cell into the canonical exec.RunSpec: the
+// paper's algorithm variant and pattern as spec strings, the injection
+// model as packets-per-node or a λ=1 Bernoulli window, and the options'
+// result-affecting knobs. The returned spec is what RunCtx executes.
+func (ex Experiment) Spec(dims int, opt Options) (exec.RunSpec, error) {
 	opt.fill()
-	algo, err := algorithm(dims, opt)
-	if err != nil {
-		return Row{}, err
-	}
-	pat, err := pattern(ex.Pattern, dims, opt.Seed+1)
-	if err != nil {
-		return Row{}, err
-	}
-	nodes := 1 << dims
-	cfg := sim.Config{
-		Algorithm:      algo,
-		QueueCap:       opt.QueueCap,
-		Policy:         opt.Policy,
+	s := exec.RunSpec{
+		V:              exec.SpecVersion,
+		Algo:           fmt.Sprintf("hypercube-%s:%d", opt.Algorithm, dims),
+		Pattern:        string(ex.Pattern),
+		Engine:         opt.Engine,
+		Policy:         opt.Policy.String(),
 		Seed:           opt.Seed,
+		QueueCap:       opt.QueueCap,
 		Workers:        opt.Workers,
 		RebalanceEvery: opt.RebalanceEvery,
 	}
-	eng, err := sim.NewSimulator(opt.Engine, cfg)
+	switch ex.Injection {
+	case Static1:
+		s.Inject, s.Packets = "static", 1
+	case StaticN:
+		s.Inject, s.Packets = "static", dims
+	case Dynamic:
+		s.Inject, s.Lambda, s.Warmup, s.Measure = "dynamic", 1, opt.Warmup, opt.Measure
+	default:
+		return exec.RunSpec{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
+	}
+	return s, nil
+}
+
+// RunCtx is Run with cancellation: the simulation stops within one cycle of
+// ctx being canceled and the cell returns ctx's error.
+//
+// Execution goes through the canonical exec.RunSpec path — the same
+// assembly the daemon and the result store use — so a table cell and a
+// POSTed spec with the same parameters are the same run, fingerprint and
+// all.
+func (ex Experiment) RunCtx(ctx context.Context, dims int, opt Options) (Row, error) {
+	opt.fill()
+	s, err := ex.Spec(dims, opt)
 	if err != nil {
 		return Row{}, err
 	}
-	var src sim.TrafficSource
-	plan := sim.StaticPlan(10_000_000)
-	switch ex.Injection {
-	case Static1:
-		src = traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
-	case StaticN:
-		src = traffic.NewStaticSource(pat, nodes, dims, opt.Seed+2)
-	case Dynamic:
-		src = traffic.NewBernoulliSource(pat, nodes, 1.0, opt.Seed+2)
-		plan = sim.DynamicPlan(opt.Warmup, opt.Measure)
-	default:
-		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
-	}
-	res, err := eng.Run(ctx, src, plan)
+	res, err := exec.Run(ctx, s, nil)
 	if err != nil {
 		return Row{}, err
 	}
 	m := res.Metrics
 	return Row{
 		Dims:      dims,
-		Nodes:     nodes,
+		Nodes:     1 << dims,
 		Lavg:      m.AvgLatency(),
 		Lmax:      m.LatencyMax,
 		Ir:        100 * m.InjectionRate(),

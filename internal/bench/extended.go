@@ -5,8 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/traffic"
+	"repro/internal/exec"
+	"repro/internal/spec"
 )
 
 // Extended is one experiment of the extended suite: the measurements the
@@ -23,7 +23,10 @@ type Extended struct {
 	Injection InjectionKind
 	Lambda    float64 // dynamic runs: per-topology rate chosen below saturation collapse
 	Algo      func(size int) core.Algorithm
-	Pattern   func(a core.Algorithm, size int, seed int64) traffic.Pattern
+	// Pattern is a spec-grammar pattern name ("random", "mesh-transpose");
+	// the run path resolves it against the algorithm's topology, exactly as
+	// a POSTed RunSpec would.
+	Pattern string
 	// PerNode overrides the static-N packet count (0 = the size itself,
 	// matching the paper's "n packets" convention).
 	PerNode func(size int) int
@@ -40,57 +43,51 @@ func ExtendedSuite() []Extended {
 	torusAlgo := func(side int) core.Algorithm { return core.NewTorusAdaptive(side, side) }
 	shuffleAlgo := func(dims int) core.Algorithm { return core.NewShuffleExchangeAdaptive(dims) }
 	cccAlgo := func(dims int) core.Algorithm { return core.NewCCCAdaptive(dims) }
-	random := func(a core.Algorithm, _ int, _ int64) traffic.Pattern {
-		return traffic.Random{Nodes: a.Topology().Nodes()}
-	}
-	meshTranspose := func(_ core.Algorithm, side int, _ int64) traffic.Pattern {
-		return traffic.MeshTranspose{Side: side}
-	}
 	return []Extended{
 		{
 			ID: "ext-mesh-random-n", Title: "Mesh, random, n packets (n = side)",
 			SizeLabel: "side", Sizes: []int{8, 16, 24, 32}, Injection: StaticN,
-			Algo: meshAlgo, Pattern: random,
+			Algo: meshAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-mesh-transpose-n", Title: "Mesh, matrix transpose, n packets",
 			SizeLabel: "side", Sizes: []int{8, 16, 24, 32}, Injection: StaticN,
-			Algo: meshAlgo, Pattern: meshTranspose,
+			Algo: meshAlgo, Pattern: "mesh-transpose",
 		},
 		{
 			ID: "ext-mesh-random-dyn", Title: "Mesh, random, dynamic lambda=0.08",
 			SizeLabel: "side", Sizes: []int{8, 16, 24}, Injection: Dynamic, Lambda: 0.08,
-			Algo: meshAlgo, Pattern: random,
+			Algo: meshAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-torus-random-n", Title: "Torus, random, n packets",
 			SizeLabel: "side", Sizes: []int{8, 16, 24}, Injection: StaticN,
-			Algo: torusAlgo, Pattern: random,
+			Algo: torusAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-torus-random-dyn", Title: "Torus, random, dynamic lambda=0.2",
 			SizeLabel: "side", Sizes: []int{8, 16, 24}, Injection: Dynamic, Lambda: 0.2,
-			Algo: torusAlgo, Pattern: random,
+			Algo: torusAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-shuffle-random-n", Title: "Shuffle-exchange, random, n packets (n = dims)",
 			SizeLabel: "dims", Sizes: []int{8, 10, 12}, Injection: StaticN,
-			Algo: shuffleAlgo, Pattern: random,
+			Algo: shuffleAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-shuffle-random-dyn", Title: "Shuffle-exchange, random, dynamic lambda=0.02",
 			SizeLabel: "dims", Sizes: []int{8, 10, 12}, Injection: Dynamic, Lambda: 0.02,
-			Algo: shuffleAlgo, Pattern: random,
+			Algo: shuffleAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-ccc-random-n", Title: "Cube-connected cycles, random, n packets (n = order)",
 			SizeLabel: "dims", Sizes: []int{5, 6, 7, 8}, Injection: StaticN,
-			Algo: cccAlgo, Pattern: random,
+			Algo: cccAlgo, Pattern: "random",
 		},
 		{
 			ID: "ext-ccc-random-dyn", Title: "Cube-connected cycles, random, dynamic lambda=0.04",
 			SizeLabel: "dims", Sizes: []int{5, 6, 7}, Injection: Dynamic, Lambda: 0.04,
-			Algo: cccAlgo, Pattern: random,
+			Algo: cccAlgo, Pattern: "random",
 		},
 	}
 }
@@ -126,43 +123,57 @@ func (ex Extended) Run(size int, opt Options) (Row, error) {
 	return ex.RunCtx(nil, size, opt)
 }
 
-// RunCtx is Run with cancellation; see (Experiment).RunCtx.
+// Spec translates one extended-suite cell into the canonical exec.RunSpec;
+// see (Experiment).Spec. The algorithm spec string is recovered from the
+// constructed algorithm via spec.Format, so the cell and its spec always
+// agree.
+func (ex Extended) Spec(size int, opt Options) (exec.RunSpec, error) {
+	opt.fill()
+	algoSpec, err := spec.Format(ex.Algo(size))
+	if err != nil {
+		return exec.RunSpec{}, fmt.Errorf("bench: %s %s=%d: %w", ex.ID, ex.SizeLabel, size, err)
+	}
+	s := exec.RunSpec{
+		V:              exec.SpecVersion,
+		Algo:           algoSpec,
+		Pattern:        ex.Pattern,
+		Engine:         opt.Engine,
+		Policy:         opt.Policy.String(),
+		Seed:           opt.Seed,
+		QueueCap:       opt.QueueCap,
+		Workers:        opt.Workers,
+		RebalanceEvery: opt.RebalanceEvery,
+	}
+	switch ex.Injection {
+	case Static1:
+		s.Inject, s.Packets = "static", 1
+	case StaticN:
+		s.Inject, s.Packets = "static", ex.PacketsPerNode(size)
+	case Dynamic:
+		s.Inject, s.Lambda, s.Warmup, s.Measure = "dynamic", ex.Lambda, opt.Warmup, opt.Measure
+	default:
+		return exec.RunSpec{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
+	}
+	return s, nil
+}
+
+// RunCtx is Run with cancellation; see (Experiment).RunCtx. Like the
+// published tables, extended cells execute through the canonical
+// exec.RunSpec path.
 func (ex Extended) RunCtx(ctx context.Context, size int, opt Options) (Row, error) {
 	opt.fill()
-	algo := ex.Algo(size)
-	pat := ex.Pattern(algo, size, opt.Seed+1)
-	nodes := algo.Topology().Nodes()
-	eng, err := sim.NewSimulator(opt.Engine, sim.Config{
-		Algorithm: algo,
-		QueueCap:  opt.QueueCap,
-		Policy:    opt.Policy,
-		Seed:      opt.Seed,
-		Workers:   opt.Workers,
-	})
+	s, err := ex.Spec(size, opt)
 	if err != nil {
 		return Row{}, err
 	}
-	var src sim.TrafficSource
-	plan := sim.StaticPlan(10_000_000)
-	switch ex.Injection {
-	case Static1:
-		src = traffic.NewStaticSource(pat, nodes, 1, opt.Seed+2)
-	case StaticN:
-		src = traffic.NewStaticSource(pat, nodes, ex.PacketsPerNode(size), opt.Seed+2)
-	case Dynamic:
-		src = traffic.NewBernoulliSource(pat, nodes, ex.Lambda, opt.Seed+2)
-		plan = sim.DynamicPlan(opt.Warmup, opt.Measure)
-	default:
-		return Row{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
-	}
-	res, err := eng.Run(ctx, src, plan)
+	res, err := exec.Run(ctx, s, nil)
 	if err != nil {
 		return Row{}, err
 	}
 	m := res.Metrics
 	return Row{
 		Dims:      size,
-		Nodes:     nodes,
+		Nodes:     ex.Algo(size).Topology().Nodes(),
 		Lavg:      m.AvgLatency(),
 		Lmax:      m.LatencyMax,
 		Ir:        100 * m.InjectionRate(),

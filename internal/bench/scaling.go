@@ -15,8 +15,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"repro/internal/buildid"
 	"runtime"
-	"runtime/debug"
 	"time"
 
 	"repro/internal/sim"
@@ -27,33 +27,10 @@ import (
 // (suffixed "+dirty" for modified trees), or "dev" when the binary carries
 // no VCS metadata (go test, go run of a non-VCS tree). Recorded in every
 // benchmark artifact so a measurement can be traced back to the code that
-// produced it; the sweep checkpoints use the same key to invalidate resumes
-// across rebuilds.
-func BuildID() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "dev"
-	}
-	var rev, modified string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			modified = s.Value
-		}
-	}
-	if rev == "" {
-		return "dev"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	if modified == "true" {
-		rev += "+dirty"
-	}
-	return rev
-}
+// produced it; the sweep checkpoints and the result store use the same key
+// to invalidate resumes and cache entries across rebuilds. It delegates to
+// internal/buildid, the shared identity every layer keys by.
+func BuildID() string { return buildid.ID() }
 
 // ScalingConfig selects one scaling measurement: a single (engine, algo,
 // dims) workload swept over a list of worker counts.

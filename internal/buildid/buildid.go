@@ -1,0 +1,37 @@
+// Package buildid identifies the running binary for fingerprints and
+// benchmark artifacts. It sits below bench, exec, sweep and store so every
+// layer keys its cache entries and records with the same identity.
+package buildid
+
+import "runtime/debug"
+
+// ID returns the embedded VCS revision (suffixed "+dirty" for modified
+// trees), or "dev" when the binary carries no VCS metadata (go test, go
+// run of a non-VCS tree). Fingerprints fold it in so a rebuild at a
+// different revision invalidates cached results instead of resuming across
+// code changes.
+func ID() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified == "true" {
+		rev += "+dirty"
+	}
+	return rev
+}

@@ -1,0 +1,385 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.Open("", store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close(); cfg.Store.Close() })
+	return s, hs
+}
+
+func postSpec(t *testing.T, url string, spec exec.RunSpec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// The tentpole acceptance path: the same spec POSTed twice returns
+// bit-identical metrics, with the second response served from the store.
+func TestMissThenHit(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	spec := exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: 1}
+
+	resp1, body1 := postSpec(t, hs.URL, spec)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", resp1.StatusCode, body1)
+	}
+	var r1 struct {
+		Cached  bool            `json:"cached"`
+		FP      string          `json:"fingerprint"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first request claims a cache hit on an empty store")
+	}
+
+	resp2, body2 := postSpec(t, hs.URL, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", resp2.StatusCode, body2)
+	}
+	var r2 struct {
+		Cached  bool            `json:"cached"`
+		FP      string          `json:"fingerprint"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("second identical request was not served from the store")
+	}
+	if r1.FP != r2.FP {
+		t.Fatalf("fingerprint changed between requests: %s vs %s", r1.FP, r2.FP)
+	}
+	if !bytes.Equal(r1.Metrics, r2.Metrics) {
+		t.Fatalf("cached metrics not byte-identical:\n%s\n%s", r1.Metrics, r2.Metrics)
+	}
+	c := srv.st.Stats().Counts()
+	if c.Hits != 1 || c.Puts != 1 {
+		t.Fatalf("store counters: %+v, want 1 hit / 1 put", c)
+	}
+
+	// GET by fingerprint serves the same stored result.
+	resp3, err := http.Get(hs.URL + "/v1/sim/" + r1.FP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("GET by fingerprint: %d", resp3.StatusCode)
+	}
+}
+
+func TestValidationError(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, body := postSpec(t, hs.URL, exec.RunSpec{Algo: "ring-adaptive:8"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Field != "algo" || e.Error == "" {
+		t.Fatalf("error body should blame the algo field: %+v", e)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Post(hs.URL+"/v1/sim", "application/json",
+		strings.NewReader(`{"algo":"hypercube-adaptive:4","seeds":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("misspelled field accepted: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// fakeExec returns a controllable executor: each call blocks until release
+// is closed.
+func fakeExec(calls *atomic.Int64, release <-chan struct{}) func(context.Context, exec.RunSpec, obs.Observer) (exec.Result, error) {
+	return func(ctx context.Context, s exec.RunSpec, _ obs.Observer) (exec.Result, error) {
+		calls.Add(1)
+		if release != nil {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return exec.Result{}, ctx.Err()
+			}
+		}
+		return exec.Result{V: 1, Spec: s.Canon()}, nil
+	}
+}
+
+// With one slot and a one-deep queue, a burst of distinct specs must see
+// 429 backpressure with a Retry-After header, while every admitted request
+// still completes.
+func TestBackpressure429(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	_, hs := newTestServer(t, Config{Jobs: 1, QueueCap: 1, Exec: fakeExec(&calls, release)})
+
+	specN := func(n int) exec.RunSpec {
+		return exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: int64(n)}
+	}
+	type out struct {
+		code       int
+		retryAfter string
+	}
+	var wg sync.WaitGroup
+	results := make(chan out, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postSpec(t, hs.URL, specN(i))
+			results <- out{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	// Give requests time to pile up, then let the admitted ones finish.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(results)
+	ok, rejected := 0, 0
+	for r := range results {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+			if r.retryAfter == "" {
+				t.Error("429 without a Retry-After header")
+			}
+		default:
+			t.Fatalf("unexpected status %d", r.code)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no request saw 429 despite 8 distinct specs on a 1-slot, 1-queue server")
+	}
+	if ok == 0 {
+		t.Fatal("every request was rejected; admitted ones should complete")
+	}
+	if int(calls.Load()) != ok {
+		t.Fatalf("executor ran %d times for %d OK responses", calls.Load(), ok)
+	}
+}
+
+// Concurrent identical specs are deduplicated in flight: the executor runs
+// once, the followers wait and are marked coalesced.
+func TestSingleflight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	_, hs := newTestServer(t, Config{Jobs: 4, QueueCap: 8, Exec: fakeExec(&calls, release)})
+	spec := exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: 9}
+
+	type out struct {
+		coalesced bool
+		status    int
+	}
+	results := make(chan out, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postSpec(t, hs.URL, spec)
+			var r struct {
+				Coalesced bool `json:"coalesced"`
+			}
+			json.Unmarshal(body, &r)
+			results <- out{r.Coalesced, resp.StatusCode}
+		}()
+	}
+	// Wait until the leader has actually started executing, then give the
+	// followers a moment to register on the flight before releasing.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(results)
+	coalesced := 0
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("status %d", r.status)
+		}
+		if r.coalesced {
+			coalesced++
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("executor ran %d times for 4 identical concurrent specs", calls.Load())
+	}
+	if coalesced != 3 {
+		t.Fatalf("%d followers marked coalesced, want 3", coalesced)
+	}
+}
+
+// SSE: a fresh run streams queued, progress (from the Observer layer) and a
+// terminal result event; a cache hit streams just the result.
+func TestSSEProgress(t *testing.T) {
+	_, hs := newTestServer(t, Config{ProgressEvery: 10})
+	spec := exec.RunSpec{Algo: "hypercube-adaptive:5", Inject: "dynamic", Warmup: 50, Measure: 200, Seed: 2}
+	body, _ := json.Marshal(spec)
+
+	events := func() map[string]int {
+		req, _ := http.NewRequest("POST", hs.URL+"/v1/sim", bytes.NewReader(body))
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("content type %q", ct)
+		}
+		seen := map[string]int{}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if name, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+				seen[name]++
+			}
+		}
+		return seen
+	}
+
+	first := events()
+	if first["queued"] != 1 || first["result"] != 1 {
+		t.Fatalf("fresh SSE run: %v, want one queued and one result event", first)
+	}
+	if first["progress"] == 0 {
+		t.Fatalf("fresh SSE run emitted no progress events: %v", first)
+	}
+	second := events()
+	if second["result"] != 1 || second["queued"] != 0 || second["progress"] != 0 {
+		t.Fatalf("cached SSE run should be a single result event: %v", second)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	postSpec(t, hs.URL, exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: 1})
+	postSpec(t, hs.URL, exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: 1})
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"repro_store_hits_total 1",
+		"repro_store_puts_total 1",
+		"repro_daemon_requests_total 2",
+		"repro_daemon_executed_total 1",
+		"repro_daemon_queue_len 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics page missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		BuildID string `json:"build_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+func TestMaxCostRejection(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxCost: 10})
+	resp, body := postSpec(t, hs.URL, exec.RunSpec{Algo: "hypercube-adaptive:10", Seed: 1})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec: status %d (%s), want 413", resp.StatusCode, body)
+	}
+}
+
+// A run that fails (here: canceled by RunTimeout) maps to 422, and the
+// failure is not stored — the next request runs fresh.
+func TestRunErrorNotCached(t *testing.T) {
+	var calls atomic.Int64
+	execFn := func(ctx context.Context, s exec.RunSpec, _ obs.Observer) (exec.Result, error) {
+		if calls.Add(1) == 1 {
+			return exec.Result{}, fmt.Errorf("transient failure")
+		}
+		return exec.Result{V: 1, Spec: s.Canon()}, nil
+	}
+	srv, hs := newTestServer(t, Config{Exec: execFn})
+	spec := exec.RunSpec{Algo: "hypercube-adaptive:4", Seed: 5}
+	resp, _ := postSpec(t, hs.URL, spec)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("failed run: status %d, want 422", resp.StatusCode)
+	}
+	if srv.st.Len() != 0 {
+		t.Fatal("failed run was stored")
+	}
+	resp2, _ := postSpec(t, hs.URL, spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after failure: status %d", resp2.StatusCode)
+	}
+}

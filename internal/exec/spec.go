@@ -1,0 +1,343 @@
+// Package exec is the executor of the simulation-as-a-service stack: it
+// defines RunSpec, the one canonical, serializable description of a
+// simulation run, and turns specs into engine runs. Everything that used to
+// describe a run its own way — raw sim.Config assembly, the public facade's
+// functional options, the sweep's cell identities — converges here: the
+// bench harness builds RunSpecs for its cells, the routesimd daemon accepts
+// them as its request body, and the fingerprint a spec hashes to is the key
+// of the content-addressed result store (internal/store).
+package exec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/traffic"
+)
+
+// SpecVersion is the current RunSpec schema version. It is folded into
+// every fingerprint, so stored results stay meaningful across releases: a
+// schema change bumps the version and old entries simply stop matching
+// instead of being misread.
+const SpecVersion = 1
+
+// RunSpec is the canonical description of one simulation run — the single
+// source of truth the engines, the bench harness, the sweep, and the
+// routesimd HTTP API all build from. The zero value of every optional
+// field selects the paper's defaults (Canon documents each). Workers and
+// RebalanceEvery are execution knobs, not identity: results are
+// bit-deterministic across both (the engines' documented invariant), so
+// Fingerprint deliberately excludes them.
+type RunSpec struct {
+	// V is the spec schema version; 0 is treated as the current version.
+	V int `json:"v"`
+	// Algo is the algorithm spec (internal/spec grammar), e.g.
+	// "hypercube-adaptive:10", "mesh-adaptive:16x16", "torus-adaptive:8x8".
+	Algo string `json:"algo"`
+	// Pattern is the traffic-pattern spec: "random", "complement",
+	// "transpose", "leveled", "bit-reversal", "mesh-transpose",
+	// "hotspot:<frac>". Default "random".
+	Pattern string `json:"pattern,omitempty"`
+	// Engine selects the simulation model: "buffered" (default) or
+	// "atomic".
+	Engine string `json:"engine,omitempty"`
+	// Policy selects among admissible moves: "first-free" (default),
+	// "random", "static-first", "last-free".
+	Policy string `json:"policy,omitempty"`
+	// Seed makes the run reproducible; the pattern and traffic source
+	// derive their seeds from it (Seed+1 and Seed+2, the bench harness's
+	// long-standing convention).
+	Seed int64 `json:"seed,omitempty"`
+	// Inject selects the injection model: "static" (default) or "dynamic".
+	Inject string `json:"inject,omitempty"`
+	// Packets is the static model's packets per node (default 1).
+	Packets int `json:"packets,omitempty"`
+	// Lambda is the dynamic model's per-cycle injection probability
+	// (default 1, the paper's λ=1).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Warmup and Measure are the dynamic model's window (defaults 500 and
+	// 1500, the paper's Section 7.1 protocol).
+	Warmup  int64 `json:"warmup,omitempty"`
+	Measure int64 `json:"measure,omitempty"`
+	// MaxCycles bounds a static run (default 10,000,000).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// QueueCap is the central-queue capacity (default 5, the paper's value).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Faults is a fault-schedule spec in the fault.ParseSpec grammar, e.g.
+	// "links:0.05@0,node:3@100+50". Empty means no faults.
+	Faults string `json:"faults,omitempty"`
+	// HopBudget bounds fault-misroute detours; 0 selects the plan default.
+	HopBudget int `json:"hop_budget,omitempty"`
+	// Workers shards the buffered engine across goroutines. Results are
+	// bit-identical for any value, so it is excluded from Fingerprint.
+	// The atomic engine is inherently sequential: Validate rejects
+	// Workers > 1 with Engine "atomic" instead of silently ignoring it.
+	Workers int `json:"workers,omitempty"`
+	// RebalanceEvery forwards sim.Config.RebalanceEvery (occupancy-weighted
+	// shard re-cuts; results identical either way, excluded from
+	// Fingerprint).
+	RebalanceEvery int `json:"rebalance_every,omitempty"`
+}
+
+// FieldError reports a RunSpec field that failed validation — the
+// spec-level sibling of internal/spec's ParseError. Err, when non-nil,
+// carries the underlying structured parse error (e.g. *spec.ParseError or
+// *spec.UnknownNameError) and is exposed through Unwrap for errors.As.
+type FieldError struct {
+	Field  string // the RunSpec field, as its JSON name ("algo", "lambda")
+	Reason string
+	Err    error
+}
+
+func (e *FieldError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("runspec: field %q: %v", e.Field, e.Err)
+	}
+	return fmt.Sprintf("runspec: field %q: %s", e.Field, e.Reason)
+}
+
+func (e *FieldError) Unwrap() error { return e.Err }
+
+func fieldErr(field, format string, args ...any) error {
+	return &FieldError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Canon returns the spec with every defaulted field made explicit: V set
+// to SpecVersion, engine/policy/inject/pattern names normalized, and the
+// paper's default parameters filled in. Fingerprint and the daemon's
+// responses always use the canonical form, so two specs that differ only
+// in how they spell a default are the same run.
+func (s RunSpec) Canon() RunSpec {
+	c := s
+	if c.V == 0 {
+		c.V = SpecVersion
+	}
+	if c.Pattern == "" {
+		c.Pattern = "random"
+	}
+	if c.Engine == "" {
+		c.Engine = "buffered"
+	}
+	if c.Policy == "" {
+		c.Policy = "first-free"
+	}
+	if c.Inject == "" {
+		c.Inject = "static"
+	}
+	switch c.Inject {
+	case "static":
+		if c.Packets == 0 {
+			c.Packets = 1
+		}
+		if c.MaxCycles == 0 {
+			c.MaxCycles = 10_000_000
+		}
+		c.Lambda, c.Warmup, c.Measure = 0, 0, 0
+	case "dynamic":
+		if c.Lambda == 0 {
+			c.Lambda = 1
+		}
+		if c.Warmup == 0 {
+			c.Warmup = 500
+		}
+		if c.Measure == 0 {
+			c.Measure = 1500
+		}
+		c.Packets, c.MaxCycles = 0, 0
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 5
+	}
+	return c
+}
+
+// Validate checks the spec without building it. Errors are structured:
+// every failure is a *FieldError naming the offending field, wrapping the
+// underlying *spec.ParseError / *spec.UnknownNameError when the field
+// value itself is a sub-spec.
+func (s RunSpec) Validate() error {
+	_, err := s.compile()
+	return err
+}
+
+// compiled is the validated, constructed form of a spec.
+type compiled struct {
+	spec   RunSpec // canonical
+	algo   core.Algorithm
+	pat    traffic.Pattern
+	policy sim.Policy
+	plan   fault.Plan // zero unless faults are set
+	faults *fault.Plan
+}
+
+func (s RunSpec) compile() (*compiled, error) {
+	c := s.Canon()
+	if c.V != SpecVersion {
+		return nil, fieldErr("v", "unsupported spec version %d (this build speaks %d)", c.V, SpecVersion)
+	}
+	if c.Algo == "" {
+		return nil, fieldErr("algo", "required; e.g. %q (see AlgorithmNames)", "hypercube-adaptive:8")
+	}
+	algo, err := spec.Algorithm(c.Algo)
+	if err != nil {
+		return nil, &FieldError{Field: "algo", Err: err}
+	}
+	pat, err := spec.Pattern(c.Pattern, algo, c.Seed+1)
+	if err != nil {
+		return nil, &FieldError{Field: "pattern", Err: err}
+	}
+	switch c.Engine {
+	case "buffered", "atomic":
+	default:
+		return nil, fieldErr("engine", "unknown engine %q, valid: %v", c.Engine, sim.EngineKinds)
+	}
+	policy, err := sim.ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, &FieldError{Field: "policy", Err: err}
+	}
+	switch c.Inject {
+	case "static":
+		if c.Packets < 1 {
+			return nil, fieldErr("packets", "static injection needs packets >= 1, got %d", c.Packets)
+		}
+		if c.MaxCycles < 1 {
+			return nil, fieldErr("max_cycles", "must be >= 1, got %d", c.MaxCycles)
+		}
+	case "dynamic":
+		if !(c.Lambda > 0 && c.Lambda <= 1) { // rejects NaN too
+			return nil, fieldErr("lambda", "must be in (0,1], got %v", c.Lambda)
+		}
+		if c.Warmup < 0 || c.Measure < 1 {
+			return nil, fieldErr("measure", "dynamic window needs warmup >= 0 and measure >= 1, got %d/%d", c.Warmup, c.Measure)
+		}
+	default:
+		return nil, fieldErr("inject", "unknown injection model %q, valid: static, dynamic", c.Inject)
+	}
+	if c.QueueCap < 1 {
+		return nil, fieldErr("queue_cap", "must be >= 1, got %d", c.QueueCap)
+	}
+	if c.Workers < 0 {
+		return nil, fieldErr("workers", "must be >= 0, got %d", c.Workers)
+	}
+	if c.Workers > 1 && c.Engine == "atomic" {
+		return nil, fieldErr("workers",
+			"the atomic engine is inherently sequential and cannot use %d workers; omit workers or use the buffered engine", c.Workers)
+	}
+	out := &compiled{spec: c, algo: algo, pat: pat, policy: policy}
+	if c.Faults != "" {
+		plan, err := fault.ParseSpec(c.Faults)
+		if err != nil {
+			return nil, &FieldError{Field: "faults", Err: err}
+		}
+		out.faults = plan
+	}
+	if c.HopBudget < 0 {
+		return nil, fieldErr("hop_budget", "must be >= 0, got %d", c.HopBudget)
+	}
+	return out, nil
+}
+
+// Fingerprint hashes everything that determines the run's results — the
+// canonical spec fields plus the build identity — into the store key for
+// its result. The recipe is an explicit field-ordered string, so the hash
+// is stable across JSON field reordering and Go struct changes; Workers
+// and RebalanceEvery are excluded because results are bit-deterministic
+// across both. The spec version is folded in, so a schema change
+// invalidates stored entries instead of misreading them, and so does
+// buildID, so a rebuilt binary re-simulates rather than trusting results
+// of different code.
+func (s RunSpec) Fingerprint(buildID string) string {
+	c := s.Canon()
+	id := fmt.Sprintf("rs%d|algo=%s|pattern=%s|engine=%s|policy=%s|seed=%d|inject=%s|packets=%d|lambda=%g|warmup=%d|measure=%d|maxcycles=%d|cap=%d|faults=%s|hop=%d|build=%s",
+		c.V, c.Algo, c.Pattern, c.Engine, c.Policy, c.Seed, c.Inject,
+		c.Packets, c.Lambda, c.Warmup, c.Measure, c.MaxCycles,
+		c.QueueCap, c.Faults, c.HopBudget, buildID)
+	h := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(h[:12])
+}
+
+// Build validates the spec and constructs the selected simulation engine,
+// configured but not yet running — the spec-level replacement for
+// assembling a sim.Config by hand. Use Source for the matching traffic
+// source and plan, or Run to do both and execute.
+func (s RunSpec) Build() (sim.Simulator, error) {
+	c, err := s.compile()
+	if err != nil {
+		return nil, err
+	}
+	return c.build(nil)
+}
+
+func (c *compiled) build(o simObserver) (sim.Simulator, error) {
+	cfg := sim.Config{
+		Algorithm:      c.algo,
+		QueueCap:       c.spec.QueueCap,
+		Policy:         c.policy,
+		Seed:           c.spec.Seed,
+		Workers:        c.spec.Workers,
+		RebalanceEvery: c.spec.RebalanceEvery,
+		Faults:         c.faults,
+		HopBudget:      c.spec.HopBudget,
+	}
+	if o != nil {
+		cfg.Observer = o
+	}
+	return sim.NewSimulator(c.spec.Engine, cfg)
+}
+
+// Source validates the spec and constructs its traffic source and run
+// plan, the counterpart of Build.
+func (s RunSpec) Source() (sim.TrafficSource, sim.Plan, error) {
+	c, err := s.compile()
+	if err != nil {
+		return nil, sim.Plan{}, err
+	}
+	src, plan := c.source()
+	return src, plan, nil
+}
+
+func (c *compiled) source() (sim.TrafficSource, sim.Plan) {
+	nodes := c.algo.Topology().Nodes()
+	if c.spec.Inject == "dynamic" {
+		return traffic.NewBernoulliSource(c.pat, nodes, c.spec.Lambda, c.spec.Seed+2),
+			sim.DynamicPlan(c.spec.Warmup, c.spec.Measure)
+	}
+	return traffic.NewStaticSource(c.pat, nodes, c.spec.Packets, c.spec.Seed+2),
+		sim.StaticPlan(c.spec.MaxCycles)
+}
+
+// Cost estimates the run's work in node-cycles for admission control and
+// worker-grant decisions — the RunSpec analogue of the sweep's cell cost
+// model. Only relative accuracy matters. Invalid specs cost 0.
+func (s RunSpec) Cost() float64 {
+	c, err := s.compile()
+	if err != nil {
+		return 0
+	}
+	nodes := c.algo.Topology().Nodes()
+	if c.spec.Inject == "dynamic" {
+		return float64(nodes) * float64(c.spec.Warmup+c.spec.Measure)
+	}
+	diam := 1
+	for 1<<diam < nodes {
+		diam++
+	}
+	return float64(nodes) * float64(c.spec.Packets) * float64(diam)
+}
+
+// Parallelizable reports whether the run's results are invariant under
+// Workers > 1 (credited algorithms and the atomic engine are not), the
+// fact the scheduler needs to decide worker grants. Invalid specs report
+// false.
+func (s RunSpec) Parallelizable() bool {
+	c, err := s.compile()
+	if err != nil {
+		return false
+	}
+	return !c.algo.Props().Credits && c.spec.Engine != "atomic"
+}

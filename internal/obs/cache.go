@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// CacheStats counts the hit/miss/eviction traffic of a content-addressed
+// result store (internal/store). Unlike the simulation metrics core these
+// counters describe the serving layer, not a run: they accumulate across
+// requests for the lifetime of the store and are safe for concurrent use.
+type CacheStats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+}
+
+// Hit records a Get served from the store.
+func (s *CacheStats) Hit() { s.hits.Add(1) }
+
+// Miss records a Get that found nothing.
+func (s *CacheStats) Miss() { s.misses.Add(1) }
+
+// Put records an entry admitted to the store.
+func (s *CacheStats) Put() { s.puts.Add(1) }
+
+// Evict records an entry displaced from the in-memory tier.
+func (s *CacheStats) Evict() { s.evictions.Add(1) }
+
+// CacheCounts is one consistent-enough reading of the stats (each counter
+// is read atomically; the set is not a snapshot of a single instant).
+type CacheCounts struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Counts returns the current counter values.
+func (s *CacheStats) Counts() CacheCounts {
+	return CacheCounts{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// WriteProm renders the counts in the Prometheus text exposition format
+// under the repro_store_ namespace; the daemon appends it to the /metrics
+// page after the simulation metrics.
+func (c CacheCounts) WriteProm(w io.Writer) error {
+	for _, m := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"repro_store_hits_total", "Store lookups served from the result cache", c.Hits},
+		{"repro_store_misses_total", "Store lookups that found no entry", c.Misses},
+		{"repro_store_puts_total", "Results admitted to the store", c.Puts},
+		{"repro_store_evictions_total", "Entries displaced from the in-memory LRU tier", c.Evictions},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			m.name, m.help, m.name, m.name, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -91,6 +91,27 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", uint8(p))
 }
 
+// PolicyNames lists the textual policy names accepted by ParsePolicy, in
+// Policy order.
+var PolicyNames = []string{"first-free", "random", "static-first", "last-free"}
+
+// ParsePolicy is the inverse of Policy.String: it resolves the textual
+// policy names the CLIs and RunSpec accept. The empty string selects the
+// default PolicyFirstFree.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "first-free":
+		return PolicyFirstFree, nil
+	case "random":
+		return PolicyRandom, nil
+	case "static-first":
+		return PolicyStaticFirst, nil
+	case "last-free":
+		return PolicyLastFree, nil
+	}
+	return 0, fmt.Errorf("sim: unknown policy %q, valid: %v", s, PolicyNames)
+}
+
 // Config configures either engine.
 type Config struct {
 	Algorithm core.Algorithm
@@ -254,19 +275,19 @@ func (e *ErrDeadlock) Error() string {
 // Metrics aggregates the observables the paper reports, plus bookkeeping
 // used by the tests.
 type Metrics struct {
-	Cycles       int64 // cycles simulated
-	Injected     int64 // packets that entered an injection queue
-	Delivered    int64 // packets consumed at their destination
-	Dropped      int64 // packets lost to faults (dead nodes/links, hop budget)
-	InFlight     int64 // packets still in the network when the run ended
-	Attempts     int64 // injection attempts (dynamic model, measured window)
-	Successes    int64 // successful attempts (dynamic model, measured window)
-	LatencySum   int64 // sum of latencies over measured deliveries
-	LatencyMax   int64 // maximum latency over measured deliveries
-	Measured     int64 // deliveries contributing to the latency statistics
-	MaxQueue     int   // maximum central-queue occupancy ever observed
-	Moves        int64 // total packet movements (progress events)
-	DynamicMoves int64 // movements that used a dynamic link
+	Cycles       int64 `json:"cycles"`        // cycles simulated
+	Injected     int64 `json:"injected"`      // packets that entered an injection queue
+	Delivered    int64 `json:"delivered"`     // packets consumed at their destination
+	Dropped      int64 `json:"dropped"`       // packets lost to faults (dead nodes/links, hop budget)
+	InFlight     int64 `json:"in_flight"`     // packets still in the network when the run ended
+	Attempts     int64 `json:"attempts"`      // injection attempts (dynamic model, measured window)
+	Successes    int64 `json:"successes"`     // successful attempts (dynamic model, measured window)
+	LatencySum   int64 `json:"latency_sum"`   // sum of latencies over measured deliveries
+	LatencyMax   int64 `json:"latency_max"`   // maximum latency over measured deliveries
+	Measured     int64 `json:"measured"`      // deliveries contributing to the latency statistics
+	MaxQueue     int   `json:"max_queue"`     // maximum central-queue occupancy ever observed
+	Moves        int64 `json:"moves"`         // total packet movements (progress events)
+	DynamicMoves int64 `json:"dynamic_moves"` // movements that used a dynamic link
 }
 
 // AvgLatency returns the mean latency over the measured deliveries, the

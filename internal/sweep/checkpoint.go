@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/bench"
+	"repro/internal/store"
 )
 
 // entryVersion is bumped whenever the journal schema or the fingerprint
@@ -63,7 +64,8 @@ func BuildID() string { return bench.BuildID() }
 // Journal appends completed cells to a JSONL checkpoint file. Appends are
 // serialized and each entry is written with a single Write followed by
 // Sync, so a kill leaves at most one partial trailing line — which
-// LoadJournal skips.
+// LoadJournal skips and store.OpenAppend trims on reopen, so a resumed
+// sweep can never glue a fresh entry onto a crash's partial line.
 type Journal struct {
 	mu sync.Mutex
 	f  *os.File
@@ -71,13 +73,11 @@ type Journal struct {
 
 // OpenJournal opens the checkpoint at path for appending. With resume
 // false the file is truncated (a fresh sweep starts a fresh journal);
-// with resume true existing entries are preserved and new cells append.
+// with resume true existing entries are preserved — except a partial
+// trailing line left by a crash mid-append, which is trimmed so the next
+// entry starts on a fresh line — and new cells append.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if !resume {
-		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	f, err := store.OpenAppend(path, !resume)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
 	}

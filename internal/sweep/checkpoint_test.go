@@ -164,3 +164,50 @@ func TestOpenJournalTruncatesWithoutResume(t *testing.T) {
 		t.Fatalf("fresh sweep did not truncate the stale journal: %q", data)
 	}
 }
+
+// The resume-append regression: before OpenJournal trimmed the partial
+// trailing line a crash can leave, a resumed sweep's first Append glued its
+// entry onto the fragment, producing one corrupt line that lost BOTH cells.
+// Now the fragment is trimmed on open, so the pre-crash entry and the
+// post-resume entry both survive a reload.
+func TestOpenJournalResumeAfterPartialLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{FP: "aa", Job: "a", Row: bench.Row{Dims: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Kill mid-append: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":1,"fp":"bb","job":"tru`)
+	f.Close()
+
+	j2, err := OpenJournal(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Entry{FP: "cc", Job: "c", Row: bench.Row{Dims: 12}}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d entries, want 2 (aa from before the crash, cc after resume)", len(got))
+	}
+	if _, ok := got["aa"]; !ok {
+		t.Fatal("pre-crash entry lost")
+	}
+	if _, ok := got["cc"]; !ok {
+		t.Fatal("post-resume entry lost (glued onto the partial line?)")
+	}
+}

@@ -28,7 +28,10 @@ func WithSeed(seed int64) EngineOption {
 }
 
 // WithWorkers shards the nodes across n goroutines (buffered engine only;
-// the atomic engine is inherently sequential and ignores it).
+// the atomic engine is inherently sequential and this legacy Config path
+// silently ignores it there). The canonical RunSpec path is stricter:
+// RunSpec.Validate rejects workers > 1 with the atomic engine instead of
+// ignoring them, so a spec never claims parallelism it does not have.
 func WithWorkers(n int) EngineOption {
 	return func(c *Config) { c.Workers = n }
 }
