@@ -38,6 +38,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -258,17 +259,84 @@ func ParseFaultSpec(s string) (*FaultPlan, error) { return fault.ParseSpec(s) }
 // FaultForever marks a FaultPlan failure with no scheduled recovery.
 const FaultForever = fault.Forever
 
+// Spec grammar. Every textual spec the facade accepts is parsed by one
+// grammar, documented here once; NewAlgorithm, NewTopology and NewPattern
+// report malformed input with the same two structured error shapes — an
+// *UnknownNameError when the family name is not recognized (listing the
+// valid names) and a *SpecParseError when a recognized spec carries a
+// malformed or out-of-range argument — and RunSpec validation wraps either
+// in a *SpecFieldError naming the offending JSON field.
+//
+// Algorithm specs (NewAlgorithm, RunSpec.Algo) name a routing-algorithm
+// family plus its network size:
+//
+//	hypercube-adaptive:<dims>    hypercube-hung:<dims>   hypercube-ecube:<dims>
+//	mesh-adaptive:<s>x<s>[x...]  mesh-twophase:<shape>   mesh-xy:<shape>
+//	torus-adaptive:<s>x<s>[x...] shuffle-adaptive:<dims> shuffle-static:<dims>
+//	shuffle-eager:<dims>         ccc-adaptive:<dims>     ccc-static:<dims>
+//	graph-adaptive:<generator>
+//
+// Topology specs (NewTopology, RunSpec.Topology) name a network on its
+// own — the v2 RunSpec separation, in which the algo field carries only the
+// bare family:
+//
+//	hypercube:<dims>   mesh:<s>x<s>[x...]   torus:<s>x<s>[x...]
+//	shuffle:<dims>     ccc:<dims>           graph:<generator>
+//
+// where <generator> produces an irregular network, deterministically in
+// its parameters, verified strongly-connected at construction:
+//
+//	random-regular:n=<n>,k=<k>,seed=<seed>   dragonfly:a=<a>,g=<g>
+//	hyperx:<s>x<s>[x...]                     fat-tree:leaves=<l>,spines=<s>
+//
+// Pattern specs (NewPattern, RunSpec.Pattern): "random", "complement",
+// "transpose", "leveled", "bit-reversal", "mesh-transpose",
+// "hotspot:<fraction>". Fault specs (ParseFaultSpec, RunSpec.Faults) are
+// documented at ParseFaultSpec.
+type (
+	// SpecParseError reports a recognized spec with a malformed or
+	// out-of-range argument; Spec names the offending spec as given.
+	SpecParseError = spec.ParseError
+	// UnknownNameError reports a spec whose family name is not recognized,
+	// listing the accepted names.
+	UnknownNameError = spec.UnknownNameError
+	// Topology is a static interconnection network: the node/port/link
+	// structure an Algorithm routes on. Build one with NewTopology.
+	Topology = topology.Topology
+	// GraphTopology is an arbitrary strongly-connected digraph produced by
+	// a "graph:" generator spec, with a precomputed all-pairs distance
+	// table.
+	GraphTopology = topology.Graph
+)
+
 // AlgorithmNames lists the specs accepted by NewAlgorithm.
 func AlgorithmNames() []string { return spec.AlgorithmNames() }
 
 // PatternNames lists the specs accepted by NewPattern.
 func PatternNames() []string { return spec.PatternNames() }
 
+// TopologyNames lists the specs accepted by NewTopology.
+func TopologyNames() []string { return spec.TopologyNames() }
+
 // NewAlgorithm builds an algorithm from a textual spec such as
-// "hypercube-adaptive:10", "mesh-adaptive:16x16" or "torus-adaptive:8x8"
-// (see AlgorithmNames for the full list, and internal/spec for the grammar).
-// Malformed or out-of-range sizes are reported as errors, never panics.
+// "hypercube-adaptive:10", "mesh-adaptive:16x16" or
+// "graph-adaptive:dragonfly:a=4,g=9" (see AlgorithmNames for the full list,
+// and the Spec grammar section above). Malformed or out-of-range sizes are
+// reported as errors, never panics.
 func NewAlgorithm(s string) (Algorithm, error) { return spec.Algorithm(s) }
+
+// NewTopology builds a network from a textual topology spec such as
+// "hypercube:10", "torus:8x8" or "graph:random-regular:n=256,k=4,seed=7"
+// (see TopologyNames and the Spec grammar section above). Generated
+// "graph:" networks are deterministic in their parameters and verified
+// strongly connected; errors are the same structured shapes NewAlgorithm
+// reports.
+func NewTopology(s string) (Topology, error) { return spec.Topology(s) }
+
+// TopologySpec renders the canonical spec of a topology built by
+// NewTopology, such that NewTopology(TopologySpec(t)) reconstructs an
+// equivalent network.
+func TopologySpec(t Topology) (string, error) { return spec.FormatTopology(t) }
 
 // AlgorithmSpec renders the canonical spec of an algorithm built by
 // NewAlgorithm, such that NewAlgorithm(AlgorithmSpec(a)) reconstructs an

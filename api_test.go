@@ -44,6 +44,9 @@ func TestAlgorithmNamesMatchConstructors(t *testing.T) {
 		if strings.Contains(tmpl, "x<side>") {
 			spec = name + ":4x4"
 		}
+		if name == "graph-adaptive" {
+			spec = name + ":fat-tree:leaves=4,spines=2"
+		}
 		if _, err := repro.NewAlgorithm(spec); err != nil {
 			t.Errorf("listed algorithm %q is not constructible (%q): %v", tmpl, spec, err)
 		}

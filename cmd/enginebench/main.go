@@ -39,7 +39,7 @@ func main() {
 	var (
 		label     = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
 		out       = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
-		algo      = flag.String("algo", "hypercube", "routing algorithm(s) to benchmark, comma-separated: hypercube|mesh|torus|shuffle|ccc")
+		algo      = flag.String("algo", "hypercube", "routing algorithm(s) to benchmark, comma-separated: hypercube|mesh|torus|shuffle|ccc|graph|dragonfly")
 		dims      = flag.String("dims", "", "comma-separated sizes (hypercube/shuffle/ccc: dimensions; mesh/torus: side); default per algo, so leave empty when -algo lists several")
 		nomask    = flag.Bool("nomask", false, "disable the port-mask fast path (same-binary baseline for before/after runs)")
 		workers   = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")

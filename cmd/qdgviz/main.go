@@ -6,14 +6,25 @@
 //	qdgviz -algo mesh-adaptive:3x3      # Figure 2: 3-mesh hung from (0,0)
 //	qdgviz -algo shuffle-adaptive:3     # Figure 3: 8-node shuffle-exchange
 //
+// Generated topologies work the same way — the spec carries the generator
+// and the QDG shows the derived hop-layered queue order:
+//
+//	qdgviz -algo graph-adaptive:dragonfly:a=2,g=5
+//	qdgviz -algo graph-adaptive:random-regular:n=16,k=3,seed=7
+//
 // Static links are drawn solid, dynamic links dashed, and bubble-guarded
 // ring entries dotted. Pipe the output through `dot -Tsvg` to render.
+//
+// When -verify is on (the default) and the queue order fails the
+// acyclicity check, qdgviz still writes the DOT — the graph containing
+// the cycle is exactly what you want to look at — and then exits 1.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro"
@@ -36,19 +47,38 @@ func main() {
 		fmt.Print(desc)
 		return
 	}
-	if *verify {
-		fatal(repro.VerifyDeadlockFree(algo))
-		fmt.Fprintf(os.Stderr, "qdgviz: %s on %s certified deadlock-free\n", algo.Name(), algo.Topology().Name())
-	}
-	w := bufio.NewWriter(os.Stdout)
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		fatal(err)
 		defer f.Close()
-		w = bufio.NewWriter(f)
+		w = f
 	}
-	fatal(repro.WriteQDG(w, algo))
-	fatal(w.Flush())
+	rejected, err := emit(w, algo, *verify)
+	fatal(err)
+	if rejected {
+		os.Exit(1)
+	}
+}
+
+// emit writes the QDG of algo to w in DOT form. With verify set it first
+// runs the acyclicity check; a failing order is reported on stderr and
+// still rendered (rejected=true), so the offending cycle can be inspected.
+func emit(w io.Writer, algo repro.Algorithm, verify bool) (rejected bool, err error) {
+	if verify {
+		if verr := repro.VerifyDeadlockFree(algo); verr != nil {
+			fmt.Fprintf(os.Stderr, "qdgviz: REJECTED: %v (writing the graph anyway)\n", verr)
+			rejected = true
+		} else {
+			fmt.Fprintf(os.Stderr, "qdgviz: %s on %s certified deadlock-free\n",
+				algo.Name(), algo.Topology().Name())
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if err := repro.WriteQDG(bw, algo); err != nil {
+		return rejected, err
+	}
+	return rejected, bw.Flush()
 }
 
 func fatal(err error) {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestGoldenGeneratedQDG pins the DOT export of a generated topology's
+// derived hop-layered queue order. Regenerate with:
+//
+//	go run ./cmd/qdgviz -algo graph-adaptive:fat-tree:leaves=4,spines=2 \
+//	    > cmd/qdgviz/testdata/fat_tree_4x2.dot
+func TestGoldenGeneratedQDG(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "fat_tree_4x2.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := repro.NewAlgorithm("graph-adaptive:fat-tree:leaves=4,spines=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rejected, err := emit(&sb, algo, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rejected {
+		t.Fatal("derived queue order was rejected")
+	}
+	if sb.String() != string(want) {
+		t.Errorf("DOT output changed; regenerate the golden file if intentional.\ngot %d bytes, want %d",
+			sb.Len(), len(want))
+	}
+}

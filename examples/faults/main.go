@@ -27,7 +27,7 @@ func sweep(deadFrac float64) {
 	if deadFrac > 0 {
 		plan.FailRandomLinks(deadFrac, 1, 0, repro.FaultForever)
 	}
-	eng, err := repro.NewEngineOpts(algo,
+	eng, err := repro.NewSimulatorOpts("buffered", algo,
 		repro.WithSeed(7),
 		repro.WithMetrics(),
 		repro.WithFaultPlan(plan, 0), // 0 = default misroute hop budget

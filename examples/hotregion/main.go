@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/bits"
@@ -31,7 +32,7 @@ const dims = 9
 // through Snapshot is safe.
 type qaProbe struct {
 	repro.ObserverBase
-	eng     *repro.Engine
+	eng     repro.Simulator
 	sum     []float64
 	samples int
 }
@@ -57,7 +58,7 @@ func profile(spec string) ([]float64, int64) {
 		nodesAt[bits.OnesCount32(uint32(u))]++
 	}
 	probe := &qaProbe{sum: make([]float64, dims+1)}
-	eng, err := repro.NewEngineOpts(algo,
+	eng, err := repro.NewSimulatorOpts("buffered", algo,
 		repro.WithSeed(17),
 		repro.WithObserver(probe))
 	if err != nil {
@@ -68,10 +69,11 @@ func profile(spec string) ([]float64, int64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := eng.RunStatic(repro.NewStaticTraffic(pat, algo, dims, 23), 10_000_000)
+	res, err := eng.Run(context.Background(), repro.NewStaticTraffic(pat, algo, dims, 23), repro.StaticPlan(10_000_000))
 	if err != nil {
 		log.Fatal(err)
 	}
+	m := res.Metrics
 	avg := make([]float64, dims+1)
 	for l := range avg {
 		avg[l] = probe.sum[l] / float64(probe.samples) / nodesAt[l]

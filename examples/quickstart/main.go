@@ -40,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 	lat := repro.NewLatencyObserver()
-	eng, err := repro.NewEngineOpts(algo,
+	eng, err := repro.NewSimulatorOpts("buffered", algo,
 		repro.WithSeed(1),
 		repro.WithObserver(lat),
 	)
@@ -66,7 +66,7 @@ func main() {
 	// within one cycle if the context is canceled — pass a deadline to
 	// bound wall-clock time.
 	smp := repro.NewSampler(100)
-	eng, err = repro.NewEngineOpts(algo,
+	eng, err = repro.NewSimulatorOpts("buffered", algo,
 		repro.WithSeed(1),
 		repro.WithObserver(smp),
 	)
@@ -95,13 +95,14 @@ func main() {
 	// result store caches. Identical specs yield bit-identical metrics, so
 	// the spec's fingerprint is a content address for its result.
 	spec := repro.RunSpec{
-		Algo:    "hypercube-adaptive:8",
-		Pattern: "random",
-		Inject:  "dynamic",
-		Lambda:  1,
-		Warmup:  300,
-		Measure: 1000,
-		Seed:    1,
+		Algo:     "hypercube-adaptive",
+		Topology: "hypercube:8",
+		Pattern:  "random",
+		Inject:   "dynamic",
+		Lambda:   1,
+		Warmup:   300,
+		Measure:  1000,
+		Seed:     1,
 	}
 	sres, err := repro.ExecuteSpec(context.Background(), spec, nil)
 	if err != nil {

@@ -19,14 +19,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
 // EngineBenchConfig selects the grid the engine benchmark sweeps.
 type EngineBenchConfig struct {
 	// Algo selects the routing algorithm / topology: "hypercube" (default),
-	// "mesh", "torus", "shuffle", or "ccc". Dims is interpreted per algo
-	// (hypercube/shuffle/ccc: dimensions; mesh/torus: side of a square).
+	// "mesh", "torus", "shuffle", "ccc", "graph", or "dragonfly". Dims is
+	// interpreted per algo (hypercube/shuffle/ccc: dimensions; mesh/torus:
+	// side of a square; graph: node count of a random 4-regular network,
+	// seed 1; dragonfly: routers per group a, with g=2a+1 groups).
 	Algo    string
 	Dims    []int  // sizes to sweep (default per Algo)
 	Workers []int  // worker counts (default 1 and NumCPU, deduplicated)
@@ -52,6 +55,10 @@ func (c *EngineBenchConfig) fill() {
 			c.Dims = []int{10, 12, 14}
 		case "ccc":
 			c.Dims = []int{6, 7, 8}
+		case "graph":
+			c.Dims = []int{128, 256, 512}
+		case "dragonfly":
+			c.Dims = []int{4, 6, 8}
 		default:
 			c.Dims = []int{8, 10, 12}
 		}
@@ -153,7 +160,7 @@ type EngineBenchFile struct {
 
 // engineBenchWorkload names the fixed workload so the artifact is
 // self-describing.
-const engineBenchWorkload = "dynamic random traffic, queue cap 5; per-algo injection rates: hypercube lambda=1, mesh 0.08, torus 0.2, shuffle 0.02, ccc 0.04 (the extended-suite rates); engine buffered or atomic per cell"
+const engineBenchWorkload = "dynamic random traffic, queue cap 5; per-algo injection rates: hypercube lambda=1, mesh 0.08, torus 0.2, shuffle 0.02, ccc 0.04, graph 0.05, dragonfly 0.1 (the extended-suite rates); engine buffered or atomic per cell"
 
 // benchAlgorithm constructs the algorithm for one cell. size follows the
 // algo's natural parameter: dimensions for hypercube/shuffle/ccc, the side
@@ -170,8 +177,20 @@ func benchAlgorithm(algo string, size int) (core.Algorithm, error) {
 		return core.NewShuffleExchangeAdaptive(size), nil
 	case "ccc":
 		return core.NewCCCAdaptive(size), nil
+	case "graph":
+		t, err := topology.NewRandomRegular(size, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGraphAdaptive(t)
+	case "dragonfly":
+		t, err := topology.NewDragonfly(size, 2*size+1)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGraphAdaptive(t)
 	}
-	return nil, fmt.Errorf("bench: unknown algo %q (want hypercube, mesh, torus, shuffle, or ccc)", algo)
+	return nil, fmt.Errorf("bench: unknown algo %q (want hypercube, mesh, torus, shuffle, ccc, graph, or dragonfly)", algo)
 }
 
 // benchLambda is the per-node injection probability for one cell — the
@@ -188,6 +207,10 @@ func benchLambda(algo string) float64 {
 		return 0.02
 	case "ccc":
 		return 0.04
+	case "graph":
+		return 0.05
+	case "dragonfly":
+		return 0.1
 	}
 	return 1.0
 }

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qdg"
+	"repro/internal/topology"
+)
+
+func graphAlgo(t *testing.T, g *topology.Graph, err error) *core.GraphAdaptive {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	a, err := core.NewGraphAdaptive(g)
+	if err != nil {
+		t.Fatalf("core.NewGraphAdaptive: %v", err)
+	}
+	return a
+}
+
+// TestGraphAdaptiveVerified: the automatically derived hop-layer order
+// passes the full mechanical deadlock-freedom certification on every
+// generator family.
+func TestGraphAdaptiveVerified(t *testing.T) {
+	gens := []struct {
+		name string
+		g    *topology.Graph
+		err  error
+	}{
+		{"random-regular", nil, nil},
+		{"dragonfly", nil, nil},
+		{"hyperx", nil, nil},
+		{"fat-tree", nil, nil},
+	}
+	gens[0].g, gens[0].err = topology.NewRandomRegular(32, 3, 1)
+	gens[1].g, gens[1].err = topology.NewDragonfly(3, 4)
+	gens[2].g, gens[2].err = topology.NewHyperX(3, 3)
+	gens[3].g, gens[3].err = topology.NewFatTree(6, 3)
+	for _, c := range gens {
+		a := graphAlgo(t, c.g, c.err)
+		qg, err := qdg.Build(a)
+		if err != nil {
+			t.Fatalf("%s: qdg.Build: %v", c.name, err)
+		}
+		if err := qg.Verify(); err != nil {
+			t.Errorf("%s: qdg.Verify: %v", c.name, err)
+		}
+	}
+}
+
+// TestGraphAdaptiveMinimalAndFullyAdaptive: from every reachable state the
+// candidate set is exactly the full minimal next-hop set, one class up.
+func TestGraphAdaptiveMinimalAndFullyAdaptive(t *testing.T) {
+	rr, rrerr := topology.NewRandomRegular(24, 3, 5)
+	a := graphAlgo(t, rr, rrerr)
+	top := a.Topology()
+	n := top.Nodes()
+	var buf []core.Move
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			class, work := a.Inject(int32(src), int32(dst))
+			if class != 0 || work != 0 {
+				t.Fatalf("Inject(%d,%d) = (%d,%d), want (0,0)", src, dst, class, work)
+			}
+			// Walk one minimal path, checking the offered set at each hop.
+			node := src
+			for node != dst {
+				d := top.Distance(node, dst)
+				buf = a.Candidates(int32(node), class, work, int32(dst), buf[:0])
+				want := 0
+				for p := 0; p < top.Ports(); p++ {
+					if v := top.Neighbor(node, p); v != topology.None && top.Distance(v, dst) == d-1 {
+						want++
+					}
+				}
+				if len(buf) != want {
+					t.Fatalf("state (%d,c%d)->%d: %d candidates, want all %d minimal hops", node, class, dst, len(buf), want)
+				}
+				for _, m := range buf {
+					if m.Kind != core.Static || m.Deliver || m.Class != class+1 {
+						t.Fatalf("state (%d,c%d)->%d: non-hop-layer move %+v", node, class, dst, m)
+					}
+					if top.Distance(int(m.Node), dst) != d-1 {
+						t.Fatalf("state (%d,c%d)->%d: non-minimal move to %d", node, class, dst, m.Node)
+					}
+				}
+				node, class = int(buf[0].Node), buf[0].Class
+			}
+			buf = a.Candidates(int32(node), class, work, int32(dst), buf[:0])
+			if len(buf) != 1 || !buf[0].Deliver {
+				t.Fatalf("at destination %d: candidates %+v, want single Deliver", dst, buf)
+			}
+			if int(class) != top.Distance(src, dst) {
+				t.Fatalf("delivered %d->%d in class %d, want distance %d", src, dst, class, top.Distance(src, dst))
+			}
+		}
+	}
+}
+
+// TestGraphAdaptivePortMaskConsistency: PortMask must describe exactly the
+// Candidates set for every state it accepts, and decline delivery states.
+func TestGraphAdaptivePortMaskConsistency(t *testing.T) {
+	df, dferr := topology.NewDragonfly(4, 9)
+	a := graphAlgo(t, df, dferr)
+	top := a.Topology()
+	n := top.Nodes()
+	var pm core.PortMasks
+	var buf []core.Move
+	for node := 0; node < n; node++ {
+		for dst := 0; dst < n; dst++ {
+			for class := core.QueueClass(0); int(class) < a.NumClasses()-1; class++ {
+				ok := a.PortMask(int32(node), class, 0, int32(dst), &pm)
+				if node == dst {
+					if ok {
+						t.Fatalf("PortMask accepted delivery state at node %d", node)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("PortMask declined routable state (%d,c%d)->%d", node, class, dst)
+				}
+				buf = a.Candidates(int32(node), class, 0, int32(dst), buf[:0])
+				var want uint32
+				for _, m := range buf {
+					want |= 1 << uint(m.Port)
+				}
+				if pm.StaticMask != want || pm.Dyn != 0 || !pm.PerPort {
+					t.Fatalf("state (%d,c%d)->%d: mask %032b, want %032b dyn=0 perport", node, class, dst, pm.StaticMask, want)
+				}
+				for _, m := range buf {
+					if pm.PortClass[m.Port] != m.Class {
+						t.Fatalf("state (%d,c%d)->%d port %d: class %d, want %d", node, class, dst, m.Port, pm.PortClass[m.Port], m.Class)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGraphAdaptiveOnClosedFormTopology(t *testing.T) {
+	// The algorithm is generic: handed a closed-form topology (no cached
+	// distance table) it must still derive the right diameter.
+	a, err := core.NewGraphAdaptive(topology.NewHypercube(4))
+	if err != nil {
+		t.Fatalf("core.NewGraphAdaptive(hypercube): %v", err)
+	}
+	if a.NumClasses() != 5 {
+		t.Errorf("NumClasses = %d, want 5 (diameter 4 + 1)", a.NumClasses())
+	}
+	if err := qdgVerify(a); err != nil {
+		t.Errorf("verify on hypercube: %v", err)
+	}
+}
+
+func qdgVerify(a core.Algorithm) error {
+	g, err := qdg.Build(a)
+	if err != nil {
+		return err
+	}
+	return g.Verify()
+}

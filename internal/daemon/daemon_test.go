@@ -112,6 +112,64 @@ func TestMissThenHit(t *testing.T) {
 	}
 }
 
+// A generated-topology run round-trips as a v2 spec: the combined and
+// split spellings land on the same fingerprint, the second POST is a
+// store hit, and the canonical spec echoed back carries the split form.
+func TestGraphSpecV2RoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	combined := exec.RunSpec{Algo: "graph-adaptive:dragonfly:a=2,g=5", Packets: 1, Seed: 3}
+	split := exec.RunSpec{Algo: "graph-adaptive", Topology: "graph:dragonfly:a=2,g=5", Packets: 1, Seed: 3}
+
+	resp1, body1 := postSpec(t, hs.URL, combined)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: %d %s", resp1.StatusCode, body1)
+	}
+	var r1 struct {
+		Cached  bool            `json:"cached"`
+		FP      string          `json:"fingerprint"`
+		V       int             `json:"v"`
+		Spec    exec.RunSpec    `json:"spec"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first graph request claims a cache hit on an empty store")
+	}
+	if r1.V != exec.SpecVersion {
+		t.Fatalf("result schema version %d, want %d", r1.V, exec.SpecVersion)
+	}
+	if r1.Spec.Algo != "graph-adaptive" || r1.Spec.Topology != "graph:dragonfly:a=2,g=5" {
+		t.Fatalf("canonical spec not split: algo=%q topology=%q", r1.Spec.Algo, r1.Spec.Topology)
+	}
+
+	resp2, body2 := postSpec(t, hs.URL, split)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST: %d %s", resp2.StatusCode, body2)
+	}
+	var r2 struct {
+		Cached  bool            `json:"cached"`
+		FP      string          `json:"fingerprint"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Fatal("split spelling of the same run was not served from the store")
+	}
+	if r1.FP != r2.FP {
+		t.Fatalf("combined and split spellings disagree on the fingerprint: %s vs %s", r1.FP, r2.FP)
+	}
+	if !bytes.Equal(r1.Metrics, r2.Metrics) {
+		t.Fatalf("cached metrics not byte-identical:\n%s\n%s", r1.Metrics, r2.Metrics)
+	}
+	if c := srv.st.Stats().Counts(); c.Hits != 1 || c.Puts != 1 {
+		t.Fatalf("store counters: %+v, want 1 hit / 1 put", c)
+	}
+}
+
 func TestValidationError(t *testing.T) {
 	_, hs := newTestServer(t, Config{})
 	resp, body := postSpec(t, hs.URL, exec.RunSpec{Algo: "ring-adaptive:8"})

@@ -20,11 +20,15 @@ import (
 	"repro/internal/traffic"
 )
 
-// SpecVersion is the current RunSpec schema version. It is folded into
-// every fingerprint, so stored results stay meaningful across releases: a
-// schema change bumps the version and old entries simply stop matching
-// instead of being misread.
-const SpecVersion = 1
+// SpecVersion is the current RunSpec schema version. Version 2 splits the
+// network out of the algorithm spec: "algo" carries the bare family
+// ("hypercube-adaptive") and the new "topology" field the network spec
+// ("hypercube:10", "graph:dragonfly:a=4,g=9"). Version-1 specs (combined
+// "hypercube-adaptive:10" algos, no topology field) are accepted
+// everywhere and canonicalized to v2 by Canon; their fingerprints are
+// unchanged (Fingerprint reconstructs the v1 recipe for every
+// v1-expressible spec), so stored results survive the schema change.
+const SpecVersion = 2
 
 // RunSpec is the canonical description of one simulation run — the single
 // source of truth the engines, the bench harness, the sweep, and the
@@ -34,11 +38,20 @@ const SpecVersion = 1
 // bit-deterministic across both (the engines' documented invariant), so
 // Fingerprint deliberately excludes them.
 type RunSpec struct {
-	// V is the spec schema version; 0 is treated as the current version.
+	// V is the spec schema version; 0 is treated as the current version,
+	// and v1 specs are accepted and canonicalized to v2.
 	V int `json:"v"`
-	// Algo is the algorithm spec (internal/spec grammar), e.g.
-	// "hypercube-adaptive:10", "mesh-adaptive:16x16", "torus-adaptive:8x8".
+	// Algo is the algorithm family, e.g. "hypercube-adaptive",
+	// "mesh-adaptive", "graph-adaptive", with the network named by
+	// Topology. The combined v1 form ("hypercube-adaptive:10") is still
+	// accepted: Canon splits it into family + implied topology.
 	Algo string `json:"algo"`
+	// Topology is the network spec (internal/spec topology grammar):
+	// "hypercube:10", "mesh:16x16", "torus:8x8", "shuffle:5", "ccc:4", or a
+	// generated irregular network such as
+	// "graph:random-regular:n=256,k=4,seed=7" or "graph:dragonfly:a=4,g=9".
+	// Empty with a combined v1 Algo means the topology the algo implies.
+	Topology string `json:"topology,omitempty"`
 	// Pattern is the traffic-pattern spec: "random", "complement",
 	// "transpose", "leveled", "bit-reversal", "mesh-transpose",
 	// "hotspot:<frac>". Default "random".
@@ -112,10 +125,21 @@ func fieldErr(field, format string, args ...any) error {
 // paper's default parameters filled in. Fingerprint and the daemon's
 // responses always use the canonical form, so two specs that differ only
 // in how they spell a default are the same run.
+//
+// Canon is also the v1 -> v2 rewrite: a combined v1 algo spec
+// ("hypercube-adaptive:10") is split into the bare family plus the implied
+// topology field ("hypercube:10"), and V 0/1 become SpecVersion. A spec
+// whose explicit Topology contradicts its combined Algo is left combined
+// for Validate to reject.
 func (s RunSpec) Canon() RunSpec {
 	c := s
-	if c.V == 0 {
+	if c.V == 0 || c.V == 1 {
 		c.V = SpecVersion
+	}
+	if family, topoSpec, err := spec.SplitAlgo(c.Algo); err == nil && topoSpec != "" {
+		if c.Topology == "" || c.Topology == topoSpec {
+			c.Algo, c.Topology = family, topoSpec
+		}
 	}
 	if c.Pattern == "" {
 		c.Pattern = "random"
@@ -176,6 +200,13 @@ type compiled struct {
 }
 
 func (s RunSpec) compile() (*compiled, error) {
+	// A combined v1 algo that contradicts an explicit topology survives
+	// Canon un-split; detect the conflict against the original spec so the
+	// error can name both halves.
+	if family, topoSpec, err := spec.SplitAlgo(s.Algo); err == nil && topoSpec != "" && s.Topology != "" && s.Topology != topoSpec {
+		return nil, fieldErr("topology", "%q conflicts with the topology %q implied by algo %q; use the bare family %q with an explicit topology",
+			s.Topology, topoSpec, s.Algo, family)
+	}
 	c := s.Canon()
 	if c.V != SpecVersion {
 		return nil, fieldErr("v", "unsupported spec version %d (this build speaks %d)", c.V, SpecVersion)
@@ -183,7 +214,24 @@ func (s RunSpec) compile() (*compiled, error) {
 	if c.Algo == "" {
 		return nil, fieldErr("algo", "required; e.g. %q (see AlgorithmNames)", "hypercube-adaptive:8")
 	}
-	algo, err := spec.Algorithm(c.Algo)
+	family, _, err := spec.SplitAlgo(c.Algo)
+	if err != nil {
+		return nil, &FieldError{Field: "algo", Err: err}
+	}
+	if c.Topology == "" {
+		return nil, fieldErr("topology", "required with bare algorithm family %q; e.g. %q, or use the combined form %q", c.Algo, "hypercube:8", c.Algo+":8")
+	}
+	topo, err := spec.Topology(c.Topology)
+	if err != nil {
+		// When the topology was implied by a combined v1 algo spec, the bad
+		// value arrived through the algo field; blame what the caller wrote.
+		field := "topology"
+		if s.Topology == "" {
+			field = "algo"
+		}
+		return nil, &FieldError{Field: field, Err: err}
+	}
+	algo, err := spec.AlgorithmOn(family, topo)
 	if err != nil {
 		return nil, &FieldError{Field: "algo", Err: err}
 	}
@@ -251,10 +299,24 @@ func (s RunSpec) compile() (*compiled, error) {
 // invalidates stored entries instead of misreading them, and so does
 // buildID, so a rebuilt binary re-simulates rather than trusting results
 // of different code.
+// Every spec expressible in the v1 grammar — a v1 family on its implied
+// topology kind — hashes the exact v1 recipe (version literal 1, combined
+// algo spec, no topology part), so every store entry written before the v2
+// schema still matches. Only specs v1 could not express (graph-adaptive
+// over a generated network) use the v2 recipe with its separate topology
+// field.
 func (s RunSpec) Fingerprint(buildID string) string {
 	c := s.Canon()
-	id := fmt.Sprintf("rs%d|algo=%s|pattern=%s|engine=%s|policy=%s|seed=%d|inject=%s|packets=%d|lambda=%g|warmup=%d|measure=%d|maxcycles=%d|cap=%d|faults=%s|hop=%d|build=%s",
-		c.V, c.Algo, c.Pattern, c.Engine, c.Policy, c.Seed, c.Inject,
+	version, algoField, topoPart := 1, c.Algo, ""
+	if c.Topology != "" {
+		if combined, ok := spec.JoinAlgo(c.Algo, c.Topology); ok && c.Algo != "graph-adaptive" {
+			algoField = combined
+		} else {
+			version, topoPart = 2, "|topology="+c.Topology
+		}
+	}
+	id := fmt.Sprintf("rs%d|algo=%s%s|pattern=%s|engine=%s|policy=%s|seed=%d|inject=%s|packets=%d|lambda=%g|warmup=%d|measure=%d|maxcycles=%d|cap=%d|faults=%s|hop=%d|build=%s",
+		version, algoField, topoPart, c.Pattern, c.Engine, c.Policy, c.Seed, c.Inject,
 		c.Packets, c.Lambda, c.Warmup, c.Measure, c.MaxCycles,
 		c.QueueCap, c.Faults, c.HopBudget, buildID)
 	h := sha256.Sum256([]byte(id))

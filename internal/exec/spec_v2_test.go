@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGoldenV1Fingerprints pins the fingerprint of one spec per v1
+// algorithm family (plus assorted option shapes) to the exact values the
+// v1 schema produced, captured before the v2 topology split. These are the
+// store keys of every result cached before the schema change: if any of
+// them moves, warmed stores and checkpoint journals silently go cold.
+func TestGoldenV1Fingerprints(t *testing.T) {
+	cases := []struct {
+		spec RunSpec
+		want string
+	}{
+		{RunSpec{Algo: "hypercube-adaptive:4", Seed: 1}, "745de69293f7f39a26b4ef70"},
+		{RunSpec{Algo: "hypercube-adaptive:10", Pattern: "transpose", Inject: "dynamic", Seed: 7}, "6e69f36aadd1b07d5cdd14d8"},
+		{RunSpec{Algo: "hypercube-hung:6", Policy: "random", Seed: 2}, "4e4a87633f267feb67260a15"},
+		{RunSpec{Algo: "hypercube-ecube:5", Engine: "atomic", Seed: 3}, "6a8789fb09333b8cc6bf6ae3"},
+		{RunSpec{Algo: "mesh-adaptive:16x16", Pattern: "mesh-transpose", Seed: 4, QueueCap: 7}, "b0d9ca82e1dc0bb9bd4374cb"},
+		{RunSpec{Algo: "mesh-twophase:8x8", Inject: "dynamic", Lambda: 0.08, Seed: 5}, "d72406ad2752bc3fbf8c5857"},
+		{RunSpec{Algo: "mesh-xy:4x3x3", Seed: 6}, "1883f36980d4af77c382f240"},
+		{RunSpec{Algo: "torus-adaptive:8x8", Faults: "links:0.05@0", HopBudget: 12, Seed: 8}, "9d145ab94f7207d5f4d3d7c9"},
+		{RunSpec{Algo: "shuffle-adaptive:5", Engine: "atomic", Seed: 9}, "4c6028b4747a93942b990296"},
+		{RunSpec{Algo: "shuffle-static:4", Packets: 3, Seed: 10}, "415b7eefa4d03c186aa91e7d"},
+		{RunSpec{Algo: "shuffle-eager:4", Seed: 11}, "189bf533ff8f7684502c9c58"},
+		{RunSpec{Algo: "ccc-adaptive:4", Pattern: "hotspot:0.3", Seed: 12}, "657713edb15ee404dd3b84d4"},
+		{RunSpec{Algo: "ccc-static:3", MaxCycles: 12345, Seed: 13}, "46ca73b0ba08ad251f098eb3"},
+		{RunSpec{Algo: "torus-adaptive:4x3x3", Workers: 8, RebalanceEvery: 64, Seed: 14}, "9c7805cdc040c203cd9710ea"},
+	}
+	for _, c := range cases {
+		if got := c.spec.Fingerprint("golden-build"); got != c.want {
+			t.Errorf("%s: fingerprint drifted: got %s, want %s", c.spec.Algo, got, c.want)
+		}
+		// The v2 spelling of the same run — bare family plus explicit
+		// topology — must land on the same store key.
+		v2 := c.spec.Canon()
+		if v2.Topology == "" {
+			t.Errorf("%s: Canon did not derive a topology", c.spec.Algo)
+			continue
+		}
+		if got := v2.Fingerprint("golden-build"); got != c.want {
+			t.Errorf("%s: v2 spelling moved the fingerprint: got %s, want %s", c.spec.Algo, got, c.want)
+		}
+		// An explicitly versioned v1 spec is the same run too.
+		v1 := c.spec
+		v1.V = 1
+		if got := v1.Fingerprint("golden-build"); got != c.want {
+			t.Errorf("%s: explicit v:1 moved the fingerprint: got %s", c.spec.Algo, got)
+		}
+	}
+}
+
+func TestCanonSplitsCombinedAlgo(t *testing.T) {
+	c := RunSpec{Algo: "hypercube-adaptive:6"}.Canon()
+	if c.V != SpecVersion || c.Algo != "hypercube-adaptive" || c.Topology != "hypercube:6" {
+		t.Errorf("Canon = v%d algo=%q topology=%q", c.V, c.Algo, c.Topology)
+	}
+	c = RunSpec{V: 1, Algo: "graph-adaptive:dragonfly:a=4,g=9"}.Canon()
+	if c.Algo != "graph-adaptive" || c.Topology != "graph:dragonfly:a=4,g=9" {
+		t.Errorf("Canon(graph) = algo=%q topology=%q", c.Algo, c.Topology)
+	}
+	// Already-split specs pass through unchanged.
+	c = RunSpec{Algo: "mesh-xy", Topology: "mesh:4x4"}.Canon()
+	if c.Algo != "mesh-xy" || c.Topology != "mesh:4x4" {
+		t.Errorf("Canon(split) = algo=%q topology=%q", c.Algo, c.Topology)
+	}
+	// A redundant-but-consistent pair collapses to the split form.
+	c = RunSpec{Algo: "mesh-xy:4x4", Topology: "mesh:4x4"}.Canon()
+	if c.Algo != "mesh-xy" || c.Topology != "mesh:4x4" {
+		t.Errorf("Canon(redundant) = algo=%q topology=%q", c.Algo, c.Topology)
+	}
+}
+
+func TestValidateV2Fields(t *testing.T) {
+	// Bare family with explicit topology is the canonical v2 form.
+	s := RunSpec{Algo: "hypercube-adaptive", Topology: "hypercube:4"}
+	if err := s.Validate(); err != nil {
+		t.Errorf("v2 split spec rejected: %v", err)
+	}
+	// graph-adaptive over a generated network.
+	s = RunSpec{Algo: "graph-adaptive", Topology: "graph:random-regular:n=16,k=3,seed=1"}
+	if err := s.Validate(); err != nil {
+		t.Errorf("graph-adaptive spec rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		spec  RunSpec
+		field string
+	}{
+		{"conflict", RunSpec{Algo: "hypercube-adaptive:6", Topology: "hypercube:5"}, "topology"},
+		{"kind conflict", RunSpec{Algo: "mesh-adaptive:4x4", Topology: "torus:4x4"}, "topology"},
+		{"missing topology", RunSpec{Algo: "hypercube-adaptive"}, "topology"},
+		{"bad topology", RunSpec{Algo: "graph-adaptive", Topology: "graph:dragonfly:a=4,g=10"}, "topology"},
+		{"unknown topology", RunSpec{Algo: "graph-adaptive", Topology: "ring:9"}, "topology"},
+		{"algo/topology mismatch", RunSpec{Algo: "mesh-adaptive", Topology: "hypercube:4"}, "algo"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.spec)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a *FieldError", tc.name, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("%s: blamed field %q, want %q (%v)", tc.name, fe.Field, tc.field, err)
+		}
+	}
+}
+
+// TestGraphFingerprintShape: generated-topology specs use the v2 recipe and
+// are sensitive to the generator parameters.
+func TestGraphFingerprintShape(t *testing.T) {
+	base := RunSpec{Algo: "graph-adaptive", Topology: "graph:dragonfly:a=4,g=9", Seed: 1}
+	fp := base.Fingerprint("b")
+	// The combined algo spelling is the same run.
+	combined := RunSpec{Algo: "graph-adaptive:dragonfly:a=4,g=9", Seed: 1}
+	if got := combined.Fingerprint("b"); got != fp {
+		t.Errorf("combined graph spelling moved the fingerprint: %s vs %s", got, fp)
+	}
+	other := base
+	other.Topology = "graph:dragonfly:a=4,g=13"
+	if other.Fingerprint("b") == fp {
+		t.Error("different generator parameters share a fingerprint")
+	}
+}

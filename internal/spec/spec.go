@@ -58,6 +58,7 @@ func AlgorithmNames() []string {
 		"ccc-adaptive:<dims>",
 		"ccc-static:<dims>",
 		"torus-adaptive:<side>x<side>[x...]",
+		"graph-adaptive:<generator-spec>",
 	}
 }
 
@@ -187,6 +188,14 @@ func Algorithm(spec string) (core.Algorithm, error) {
 			return nil, err
 		}
 		return core.NewTorusAdaptive(s...), nil
+	case "graph-adaptive":
+		// The argument is a generator spec as accepted by the "graph:"
+		// topology kind, e.g. "graph-adaptive:dragonfly:a=4,g=9".
+		t, err := Topology("graph:" + arg)
+		if err != nil {
+			return nil, renameSpecErr(err, spec)
+		}
+		return AlgorithmOn(name, t)
 	}
 	return nil, &UnknownNameError{Kind: "algorithm", Name: name, Valid: AlgorithmNames()}
 }
@@ -207,10 +216,23 @@ func Format(a core.Algorithm) (string, error) {
 		arg = joinShape(t.Shape())
 	case *topology.Torus:
 		arg = joinShape(t.Shape())
+	case *topology.Graph:
+		arg = t.Spec()
 	default:
 		return "", fmt.Errorf("spec: no spec syntax for topology %s", a.Topology().Name())
 	}
 	return a.Name() + ":" + arg, nil
+}
+
+// renameSpecErr rewrites the Spec field of a *ParseError produced while
+// parsing a derived spec (e.g. the "graph:..." topology inside a
+// "graph-adaptive:..." algorithm) so the error names the spec the caller
+// actually wrote.
+func renameSpecErr(err error, spec string) error {
+	if pe, ok := err.(*ParseError); ok {
+		return &ParseError{Spec: spec, Reason: pe.Reason}
+	}
+	return err
 }
 
 func joinShape(shape []int) string {

@@ -148,6 +148,9 @@ func TestNamesAreConstructible(t *testing.T) {
 		if strings.Contains(tmpl, "x<side>") {
 			arg = "4x4"
 		}
+		if name == "graph-adaptive" {
+			arg = "dragonfly:a=2,g=5"
+		}
 		if _, err := Algorithm(name + ":" + arg); err != nil {
 			t.Errorf("listed algorithm %q not constructible: %v", tmpl, err)
 		}

@@ -1,0 +1,210 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustGraph returns a helper that unwraps a generator result and runs the
+// package-wide structural Validate checks, so tests can write
+// mustGraph(t)(NewDragonfly(4, 9)).
+func mustGraph(t *testing.T) func(*Graph, error) *Graph {
+	return func(g *Graph, err error) *Graph {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("generator failed: %v", err)
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		return g
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		adj  [][]int32
+		want string
+	}{
+		{"too small", [][]int32{{0}}, "at least 2 nodes"},
+		{"self-loop", [][]int32{{0, 1}, {0}}, "self-loop"},
+		{"duplicate", [][]int32{{1, 1}, {0}}, "duplicate"},
+		{"out of range", [][]int32{{5}, {0}}, "out-of-range"},
+		{"no out-links", [][]int32{{}, {}}, "no out-links"},
+		{"disconnected", [][]int32{{1}, {0}, {3}, {2}}, "not strongly connected"},
+		{"one-way sink", [][]int32{{1}, {2}, {None, None}}, "not strongly connected"},
+	}
+	for _, c := range cases {
+		if _, err := NewGraph("test", c.adj); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestGraphDirectedCycle(t *testing.T) {
+	// Directed 4-ring: strongly connected but asymmetric; ReversePort must
+	// report None everywhere and distances must follow link direction.
+	g := mustGraph(t)(NewGraph("ring4", [][]int32{{1}, {2}, {3}, {0}}))
+	if g.Diameter() != 3 {
+		t.Errorf("diameter = %d, want 3", g.Diameter())
+	}
+	if d := g.Distance(1, 0); d != 3 {
+		t.Errorf("Distance(1,0) = %d, want 3 (directed)", d)
+	}
+	if rp := g.ReversePort(0, 0); rp != None {
+		t.Errorf("ReversePort on one-way link = %d, want None", rp)
+	}
+}
+
+func TestRandomRegularProperties(t *testing.T) {
+	g := mustGraph(t)(NewRandomRegular(64, 4, 7))
+	if g.Nodes() != 64 || g.Ports() != 4 {
+		t.Fatalf("got %d nodes %d ports, want 64/4", g.Nodes(), g.Ports())
+	}
+	for u := 0; u < g.Nodes(); u++ {
+		if d := Degree(g, u); d != 4 {
+			t.Errorf("node %d degree %d, want 4", u, d)
+		}
+		for p := 0; p < g.Ports(); p++ {
+			v := g.Neighbor(u, p)
+			if g.ReversePort(u, p) == None {
+				t.Errorf("link %d->%d has no reverse: graph must be undirected", u, v)
+			}
+			if p > 0 && v <= g.Neighbor(u, p-1) {
+				t.Errorf("node %d ports not in ascending neighbor order", u)
+			}
+		}
+	}
+	if g.Spec() != "random-regular:n=64,k=4,seed=7" {
+		t.Errorf("spec = %q", g.Spec())
+	}
+}
+
+func TestRandomRegularDeterminism(t *testing.T) {
+	a := mustGraph(t)(NewRandomRegular(128, 3, 42))
+	b := mustGraph(t)(NewRandomRegular(128, 3, 42))
+	for u := 0; u < a.Nodes(); u++ {
+		for p := 0; p < a.Ports(); p++ {
+			if a.Neighbor(u, p) != b.Neighbor(u, p) {
+				t.Fatalf("same parameters produced different graphs at node %d port %d", u, p)
+			}
+		}
+	}
+	c := mustGraph(t)(NewRandomRegular(128, 3, 43))
+	same := true
+	for u := 0; u < a.Nodes() && same; u++ {
+		for p := 0; p < a.Ports(); p++ {
+			if a.Neighbor(u, p) != c.Neighbor(u, p) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{3, 2}, {8, 1}, {8, 9}, {5, 3}, {MaxGraphNodes + 2, 2}} {
+		if _, err := NewRandomRegular(c.n, c.k, 1); err == nil {
+			t.Errorf("NewRandomRegular(%d,%d) accepted invalid parameters", c.n, c.k)
+		}
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	g := mustGraph(t)(NewDragonfly(4, 9)) // h=2: 36 routers, 3 local + 2 global ports
+	if g.Nodes() != 36 || g.Ports() != 5 {
+		t.Fatalf("got %d nodes %d ports, want 36/5", g.Nodes(), g.Ports())
+	}
+	// Exactly one global link between every pair of groups.
+	pairs := make(map[[2]int]int)
+	for u := 0; u < g.Nodes(); u++ {
+		gu := u / 4
+		for p := 0; p < g.Ports(); p++ {
+			v := g.Neighbor(u, p)
+			gv := v / 4
+			if gu == gv {
+				if p >= 3 {
+					t.Errorf("global port %d of node %d stays inside group %d", p, u, gu)
+				}
+				continue
+			}
+			if p < 3 {
+				t.Errorf("local port %d of node %d leaves group %d", p, u, gu)
+			}
+			pairs[[2]int{gu, gv}]++
+		}
+	}
+	for gi := 0; gi < 9; gi++ {
+		for gj := 0; gj < 9; gj++ {
+			if gi == gj {
+				continue
+			}
+			if pairs[[2]int{gi, gj}] != 1 {
+				t.Errorf("groups %d->%d have %d global links, want 1", gi, gj, pairs[[2]int{gi, gj}])
+			}
+		}
+	}
+	// Diameter 3: local, global, local.
+	if g.Diameter() != 3 {
+		t.Errorf("diameter = %d, want 3", g.Diameter())
+	}
+	if _, err := NewDragonfly(4, 10); err == nil {
+		t.Error("NewDragonfly(4,10) accepted a!=divisor of g-1")
+	}
+}
+
+func TestHyperXStructure(t *testing.T) {
+	g := mustGraph(t)(NewHyperX(4, 4))
+	if g.Nodes() != 16 || g.Ports() != 6 {
+		t.Fatalf("got %d nodes %d ports, want 16/6", g.Nodes(), g.Ports())
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter = %d, want 2 (one hop per dimension)", g.Diameter())
+	}
+	// 1-D HyperX is a complete graph.
+	k := mustGraph(t)(NewHyperX(8))
+	if k.Diameter() != 1 {
+		t.Errorf("K8 diameter = %d, want 1", k.Diameter())
+	}
+	if _, err := NewHyperX(1, 4); err == nil {
+		t.Error("NewHyperX accepted side 1")
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	g := mustGraph(t)(NewFatTree(8, 4))
+	if g.Nodes() != 12 || g.Ports() != 8 {
+		t.Fatalf("got %d nodes %d ports, want 12/8", g.Nodes(), g.Ports())
+	}
+	if g.Diameter() != 2 {
+		t.Errorf("diameter = %d, want 2 (leaf-spine-leaf)", g.Diameter())
+	}
+	// Every leaf reaches every spine directly; leaves never link to leaves.
+	for l := 0; l < 8; l++ {
+		for l2 := 0; l2 < 8; l2++ {
+			if l != l2 && g.PortTo(l, l2) != None {
+				t.Errorf("leaf %d directly linked to leaf %d", l, l2)
+			}
+		}
+		for s := 0; s < 4; s++ {
+			if g.PortTo(l, 8+s) == None {
+				t.Errorf("leaf %d not linked to spine %d", l, s)
+			}
+		}
+	}
+}
+
+func TestGraphDistanceMatchesBFS(t *testing.T) {
+	g := mustGraph(t)(NewDragonfly(2, 5))
+	for a := 0; a < g.Nodes(); a++ {
+		for b := 0; b < g.Nodes(); b++ {
+			if got, want := g.Distance(a, b), BFSDistance(g, a, b); got != want {
+				t.Fatalf("Distance(%d,%d) = %d, BFS says %d", a, b, got, want)
+			}
+		}
+	}
+}

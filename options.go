@@ -105,19 +105,36 @@ func buildConfig(algo Algorithm, opts []EngineOption) Config {
 	return cfg
 }
 
-// NewEngineOpts builds the buffered cycle-accurate engine from functional
-// options:
+// NewSimulatorOpts builds either engine behind the engine-agnostic
+// Simulator API from functional options:
 //
-//	eng, err := repro.NewEngineOpts(algo,
+//	s, err := repro.NewSimulatorOpts("buffered", algo,
 //	    repro.WithQueueCap(5),
 //	    repro.WithWorkers(4),
 //	    repro.WithObserver(repro.NewLatencyObserver()))
+//
+// kind is "buffered" or "atomic" (EngineNames). For runs describable as a
+// RunSpec, prefer RunSpec.Build — it validates, fingerprints and caches.
+func NewSimulatorOpts(kind string, algo Algorithm, opts ...EngineOption) (Simulator, error) {
+	return NewSimulator(kind, buildConfig(algo, opts))
+}
+
+// NewEngineOpts builds the buffered cycle-accurate engine from functional
+// options.
+//
+// Deprecated: use NewSimulatorOpts("buffered", algo, opts...) or
+// RunSpec.Build; like NewEngine, this concrete-engine constructor keeps
+// working through v0.x.
 func NewEngineOpts(algo Algorithm, opts ...EngineOption) (*Engine, error) {
 	return NewEngine(buildConfig(algo, opts))
 }
 
 // NewAtomicEngineOpts builds the abstract queue-to-queue engine from
-// functional options; see NewEngineOpts.
+// functional options.
+//
+// Deprecated: use NewSimulatorOpts("atomic", algo, opts...) or
+// RunSpec.Build; like NewAtomicEngine, this concrete-engine constructor
+// keeps working through v0.x.
 func NewAtomicEngineOpts(algo Algorithm, opts ...EngineOption) (*AtomicEngine, error) {
 	return NewAtomicEngine(buildConfig(algo, opts))
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -23,6 +24,8 @@ func TestSoakRandomConfigurations(t *testing.T) {
 		"shuffle-adaptive:5", "shuffle-static:5", "shuffle-eager:5",
 		"torus-adaptive:5x5", "torus-adaptive:6x6", "ccc-adaptive:4",
 		"mesh-adaptive:4x3x3", "torus-adaptive:4x3x3",
+		"graph-adaptive:random-regular:n=32,k=4,seed=9",
+		"graph-adaptive:dragonfly:a=3,g=7",
 	}
 	policies := []repro.Policy{
 		repro.PolicyFirstFree, repro.PolicyRandom,
@@ -54,26 +57,19 @@ func TestSoakRandomConfigurations(t *testing.T) {
 			}
 			src := repro.NewStaticTraffic(pat, algo, perNode, seed+1)
 			want := int64(algo.Topology().Nodes() * perNode)
-			var m repro.Metrics
+			kind := "buffered"
 			if atomic {
-				eng, err := repro.NewAtomicEngine(cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				m, err = eng.RunStatic(src, 3_000_000)
-				if err != nil {
-					t.Fatal(err)
-				}
-			} else {
-				eng, err := repro.NewEngine(cfg)
-				if err != nil {
-					t.Fatal(err)
-				}
-				m, err = eng.RunStatic(src, 3_000_000)
-				if err != nil {
-					t.Fatal(err)
-				}
+				kind = "atomic"
 			}
+			eng, err := repro.NewSimulator(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(context.Background(), src, repro.StaticPlan(3_000_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := res.Metrics
 			if m.Delivered != want {
 				t.Fatalf("delivered %d of %d", m.Delivered, want)
 			}
