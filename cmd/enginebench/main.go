@@ -10,6 +10,7 @@
 //	go run ./cmd/enginebench -label quick -dims 8,10 -measure 200
 //	go run ./cmd/enginebench -label atomic-change -engine atomic
 //	go run ./cmd/enginebench -label mesh-before -algo mesh -nomask
+//	go run ./cmd/enginebench -label graph-before -algo graph,hyperx -notable
 //
 // Comparison mode gates CI on regressions: it compares the matching cells
 // of two trajectory files and exits nonzero when any cell of the second
@@ -39,9 +40,10 @@ func main() {
 	var (
 		label     = flag.String("label", "dev", "label recorded for this run (e.g. a revision name)")
 		out       = flag.String("out", "BENCH_engine.json", "trajectory file to append to; empty = print only")
-		algo      = flag.String("algo", "hypercube", "routing algorithm(s) to benchmark, comma-separated: hypercube|mesh|torus|shuffle|ccc|graph|dragonfly")
+		algo      = flag.String("algo", "hypercube", "routing algorithm(s) to benchmark, comma-separated: hypercube|mesh|torus|shuffle|ccc|graph|dragonfly|hyperx|fattree")
 		dims      = flag.String("dims", "", "comma-separated sizes (hypercube/shuffle/ccc: dimensions; mesh/torus: side); default per algo, so leave empty when -algo lists several")
 		nomask    = flag.Bool("nomask", false, "disable the port-mask fast path (same-binary baseline for before/after runs)")
+		notable   = flag.Bool("notable", false, "disable the compiled next-hop route tables (same-binary scan-path baseline for graph-adaptive cells)")
 		workers   = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
 		warmup    = flag.Int64("warmup", 100, "warmup cycles per cell")
 		measure   = flag.Int64("measure", 400, "measured cycles per cell")
@@ -82,6 +84,7 @@ func main() {
 			Seed:    *seed,
 			Engine:  *engine,
 			NoMask:  *nomask,
+			NoTable: *notable,
 		}
 		r, err := bench.RunEngineBench(*label, cfg)
 		fatal(err)

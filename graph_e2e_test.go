@@ -38,10 +38,11 @@ func TestGeneratedTopologiesEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			want := int64(algo.Topology().Nodes() * 3)
-			run := func(kind string, workers int) repro.Metrics {
+			run := func(kind string, workers int, scanPath bool) repro.Metrics {
 				t.Helper()
 				eng, err := repro.NewSimulator(kind, repro.Config{
 					Algorithm: algo, Seed: 5, Workers: workers,
+					DisableRouteTable: scanPath,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -53,15 +54,26 @@ func TestGeneratedTopologiesEndToEnd(t *testing.T) {
 				}
 				return res.Metrics
 			}
-			m1 := run("buffered", 1)
+			// The default path routes through the compiled next-hop tables;
+			// workers 1 vs 2 must stay bit-identical on it, and the
+			// uncompiled scan path (Config.DisableRouteTable) must produce
+			// the same metrics bit for bit.
+			m1 := run("buffered", 1, false)
 			if m1.Delivered != want {
 				t.Fatalf("buffered delivered %d of %d", m1.Delivered, want)
 			}
-			if m2 := run("buffered", 2); m2 != m1 {
+			if m2 := run("buffered", 2, false); m2 != m1 {
 				t.Fatalf("metrics depend on worker count:\n 1: %+v\n 2: %+v", m1, m2)
 			}
-			if ma := run("atomic", 1); ma.Delivered != want {
+			if ms := run("buffered", 1, true); ms != m1 {
+				t.Fatalf("table and scan paths disagree:\n table: %+v\n scan:  %+v", m1, ms)
+			}
+			ma := run("atomic", 1, false)
+			if ma.Delivered != want {
 				t.Fatalf("atomic delivered %d of %d", ma.Delivered, want)
+			}
+			if mas := run("atomic", 1, true); mas != ma {
+				t.Fatalf("atomic table and scan paths disagree:\n table: %+v\n scan:  %+v", ma, mas)
 			}
 		})
 	}

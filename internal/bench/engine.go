@@ -26,10 +26,12 @@ import (
 // EngineBenchConfig selects the grid the engine benchmark sweeps.
 type EngineBenchConfig struct {
 	// Algo selects the routing algorithm / topology: "hypercube" (default),
-	// "mesh", "torus", "shuffle", "ccc", "graph", or "dragonfly". Dims is
-	// interpreted per algo (hypercube/shuffle/ccc: dimensions; mesh/torus:
-	// side of a square; graph: node count of a random 4-regular network,
-	// seed 1; dragonfly: routers per group a, with g=2a+1 groups).
+	// "mesh", "torus", "shuffle", "ccc", "graph", "dragonfly", "hyperx", or
+	// "fattree". Dims is interpreted per algo (hypercube/shuffle/ccc:
+	// dimensions; mesh/torus: side of a square; graph: node count of a
+	// random 4-regular network, seed 1; dragonfly: routers per group a,
+	// with g=2a+1 groups; hyperx: side of a square lattice; fattree:
+	// leaves, with spines=leaves/2).
 	Algo    string
 	Dims    []int  // sizes to sweep (default per Algo)
 	Workers []int  // worker counts (default 1 and NumCPU, deduplicated)
@@ -41,6 +43,10 @@ type EngineBenchConfig struct {
 	// NoMask disables the PortMaskRouter fast path (Config.DisablePortMask),
 	// giving a same-binary baseline for before/after mask measurements.
 	NoMask bool
+	// NoTable disables the compiled next-hop route tables
+	// (Config.DisableRouteTable), giving a same-binary baseline for
+	// before/after route-table measurements on the graph-adaptive cells.
+	NoTable bool
 }
 
 func (c *EngineBenchConfig) fill() {
@@ -59,6 +65,10 @@ func (c *EngineBenchConfig) fill() {
 			c.Dims = []int{128, 256, 512}
 		case "dragonfly":
 			c.Dims = []int{4, 6, 8}
+		case "hyperx":
+			c.Dims = []int{8, 12, 16}
+		case "fattree":
+			c.Dims = []int{16, 24, 32}
 		default:
 			c.Dims = []int{8, 10, 12}
 		}
@@ -111,7 +121,11 @@ type EngineBenchResult struct {
 	Algo string `json:"algo,omitempty"`
 	// NoMask marks cells timed with the port-mask fast path disabled
 	// (baseline cells of a before/after mask measurement).
-	NoMask       bool    `json:"nomask,omitempty"`
+	NoMask bool `json:"nomask,omitempty"`
+	// NoTable marks cells timed with the compiled next-hop route tables
+	// disabled (baseline cells of a before/after route-table measurement on
+	// graph-adaptive topologies).
+	NoTable      bool    `json:"notable,omitempty"`
 	Dims         int     `json:"dims"`
 	Nodes        int     `json:"nodes"`
 	Workers      int     `json:"workers"`
@@ -160,7 +174,7 @@ type EngineBenchFile struct {
 
 // engineBenchWorkload names the fixed workload so the artifact is
 // self-describing.
-const engineBenchWorkload = "dynamic random traffic, queue cap 5; per-algo injection rates: hypercube lambda=1, mesh 0.08, torus 0.2, shuffle 0.02, ccc 0.04, graph 0.05, dragonfly 0.1 (the extended-suite rates); engine buffered or atomic per cell"
+const engineBenchWorkload = "dynamic random traffic, queue cap 5; per-algo injection rates: hypercube lambda=1, mesh 0.08, torus 0.2, shuffle 0.02, ccc 0.04, graph 0.05, dragonfly 0.1, hyperx 0.1, fattree 0.1 (the extended-suite rates); engine buffered or atomic per cell"
 
 // benchAlgorithm constructs the algorithm for one cell. size follows the
 // algo's natural parameter: dimensions for hypercube/shuffle/ccc, the side
@@ -189,8 +203,20 @@ func benchAlgorithm(algo string, size int) (core.Algorithm, error) {
 			return nil, err
 		}
 		return core.NewGraphAdaptive(t)
+	case "hyperx":
+		t, err := topology.NewHyperX(size, size)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGraphAdaptive(t)
+	case "fattree":
+		t, err := topology.NewFatTree(size, size/2)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGraphAdaptive(t)
 	}
-	return nil, fmt.Errorf("bench: unknown algo %q (want hypercube, mesh, torus, shuffle, ccc, graph, or dragonfly)", algo)
+	return nil, fmt.Errorf("bench: unknown algo %q (want hypercube, mesh, torus, shuffle, ccc, graph, dragonfly, hyperx, or fattree)", algo)
 }
 
 // benchLambda is the per-node injection probability for one cell — the
@@ -210,6 +236,10 @@ func benchLambda(algo string) float64 {
 	case "graph":
 		return 0.05
 	case "dragonfly":
+		return 0.1
+	case "hyperx":
+		return 0.1
+	case "fattree":
 		return 0.1
 	}
 	return 1.0
@@ -250,16 +280,17 @@ func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResul
 	nodes := algo.Topology().Nodes()
 	lambda := benchLambda(cfg.Algo)
 	best := EngineBenchResult{
-		Engine: cfg.Engine, Algo: cfg.Algo, NoMask: cfg.NoMask,
+		Engine: cfg.Engine, Algo: cfg.Algo, NoMask: cfg.NoMask, NoTable: cfg.NoTable,
 		Dims: dims, Nodes: nodes, Workers: workers,
 	}
 	for _, withObs := range []bool{false, true} {
 		eng, err := sim.NewSimulator(cfg.Engine, sim.Config{
-			Algorithm:       algo,
-			Seed:            cfg.Seed,
-			Workers:         workers,
-			Metrics:         withObs,
-			DisablePortMask: cfg.NoMask,
+			Algorithm:         algo,
+			Seed:              cfg.Seed,
+			Workers:           workers,
+			Metrics:           withObs,
+			DisablePortMask:   cfg.NoMask,
+			DisableRouteTable: cfg.NoTable,
 		})
 		if err != nil {
 			return EngineBenchResult{}, err
@@ -353,9 +384,10 @@ func algoOf(r *EngineBenchResult) string {
 }
 
 // matchCell returns the cell of run with the same (engine, algo, dims,
-// workers) coordinates as r, or nil. NoMask is deliberately not part of the
-// key: a masked run compared against a -nomask baseline run is exactly the
-// before/after measurement the flag exists for.
+// workers) coordinates as r, or nil. NoMask and NoTable are deliberately
+// not part of the key: a fast-path run compared against a -nomask or
+// -notable baseline run is exactly the before/after measurement those
+// flags exist for.
 func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
 	for i := range run.Results {
 		b := &run.Results[i]

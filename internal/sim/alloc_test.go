@@ -12,26 +12,46 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
 func TestSteadyStateAllocs(t *testing.T) {
 	cases := []struct {
 		engine  string
+		algo    string
 		workers int
 		metrics bool
 	}{
-		{"buffered", 1, false},
-		{"buffered", 1, true},
-		{"buffered", 2, false},
-		{"buffered", 2, true},
-		{"atomic", 1, false},
-		{"atomic", 1, true},
+		{"buffered", "hypercube", 1, false},
+		{"buffered", "hypercube", 1, true},
+		{"buffered", "hypercube", 2, false},
+		{"buffered", "hypercube", 2, true},
+		{"atomic", "hypercube", 1, false},
+		{"atomic", "hypercube", 1, true},
+		// Graph-adaptive runs route through the compiled next-hop tables;
+		// the table path must not allocate after construction either.
+		{"buffered", "graph", 1, false},
+		{"buffered", "graph", 1, true},
+		{"buffered", "graph", 2, false},
+		{"atomic", "graph", 1, false},
+		{"atomic", "graph", 1, true},
 	}
 	for _, tc := range cases {
-		name := fmt.Sprintf("%s/workers=%d/metrics=%v", tc.engine, tc.workers, tc.metrics)
+		name := fmt.Sprintf("%s/%s/workers=%d/metrics=%v", tc.engine, tc.algo, tc.workers, tc.metrics)
 		t.Run(name, func(t *testing.T) {
-			algo := core.NewHypercubeAdaptive(6)
+			var algo core.Algorithm = core.NewHypercubeAdaptive(6)
+			lambda := 1.0
+			if tc.algo == "graph" {
+				g, err := topology.NewRandomRegular(64, 4, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if algo, err = core.NewGraphAdaptive(g); err != nil {
+					t.Fatal(err)
+				}
+				lambda = 0.3 // below saturation, matching the bench rates
+			}
 			eng, err := NewSimulator(tc.engine, Config{
 				Algorithm: algo,
 				Seed:      1,
@@ -42,7 +62,7 @@ func TestSteadyStateAllocs(t *testing.T) {
 				t.Fatal(err)
 			}
 			nodes := algo.Topology().Nodes()
-			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, 3)
+			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, lambda, 3)
 			// A plan far longer than the test steps, so Step never completes
 			// (completion tears down run state, which is not the steady state).
 			eng.Start(src, DynamicPlan(0, 1<<30))

@@ -193,6 +193,16 @@ type Config struct {
 	// costs nothing per cycle: the engines simply skip the interface
 	// assertion at construction.
 	DisablePortMask bool
+	// DisableRouteTable forces algorithms that compile their routing
+	// relation into flat next-hop tables at construction
+	// (core.RouteTableRouter implementors — the graph-adaptive algorithm)
+	// through their uncompiled interface scan path instead. Routing is
+	// bit-identical either way (the route-table property tests pin this);
+	// the switch mirrors DisablePortMask: it exists for those tests and for
+	// same-binary before/after benchmarking, and costs nothing per cycle —
+	// the swap happens once at engine construction. Algorithms without a
+	// compiled table ignore it.
+	DisableRouteTable bool
 	// RemoteLookahead makes a packet commit to an output buffer only when
 	// the target queue currently has room for every packet already headed
 	// its way plus this one (occupancy + inbound < capacity). This realizes
@@ -233,6 +243,11 @@ type Config struct {
 func (c *Config) fill() error {
 	if c.Algorithm == nil {
 		return fmt.Errorf("sim: Config.Algorithm is nil")
+	}
+	if c.DisableRouteTable {
+		if rt, ok := c.Algorithm.(core.RouteTableRouter); ok {
+			c.Algorithm = rt.WithoutRouteTable()
+		}
 	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 5

@@ -141,6 +141,18 @@ func (g *Graph) computeDistances() error {
 // internal/spec's "graph:" topology kind.
 func (g *Graph) Spec() string { return g.spec }
 
+// FlatNeighbors returns the graph's node-major flat neighbor table:
+// FlatNeighbors()[u*Ports()+p] is Neighbor(u, p), None-padded. The slice is
+// the graph's own backing store, shared so the compiled routing paths can
+// index adjacency arithmetically without an interface call per port;
+// callers must treat it as read-only.
+func (g *Graph) FlatNeighbors() []int32 { return g.nbr }
+
+// Distances returns the all-pairs BFS distance table, source-major:
+// Distances()[u*Nodes()+v] is Distance(u, v). Like FlatNeighbors, the slice
+// is the graph's backing store and must be treated as read-only.
+func (g *Graph) Distances() []int16 { return g.dist }
+
 // Diameter returns the longest shortest path over all ordered node pairs.
 func (g *Graph) Diameter() int { return g.diam }
 

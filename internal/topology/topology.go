@@ -44,6 +44,26 @@ type Topology interface {
 	Distance(a, b int) int
 }
 
+// Flatten snapshots the adjacency of any Topology into the node-major flat
+// neighbor table the compiled routing paths index arithmetically:
+// Flatten(t)[u*t.Ports()+p] is t.Neighbor(u, p), None-padded. Graph
+// instances hand out their internal table through FlatNeighbors without
+// copying; Flatten is the generic export for every other implementation
+// (one interface call per port, once, at construction time).
+func Flatten(t Topology) []int32 {
+	if g, ok := t.(*Graph); ok {
+		return g.FlatNeighbors()
+	}
+	n, ports := t.Nodes(), t.Ports()
+	nbr := make([]int32, n*ports)
+	for u := 0; u < n; u++ {
+		for p := 0; p < ports; p++ {
+			nbr[u*ports+p] = int32(t.Neighbor(u, p))
+		}
+	}
+	return nbr
+}
+
 // Degree returns the number of connected output ports of u.
 func Degree(t Topology, u int) int {
 	d := 0
