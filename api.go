@@ -364,6 +364,37 @@ func NewDynamicTraffic(p Pattern, a Algorithm, lambda float64, seed int64) Traff
 	return traffic.NewBernoulliSource(p, a.Topology().Nodes(), lambda, seed)
 }
 
+// TrafficNames lists the traffic-model specs accepted by NewTrafficSource.
+func TrafficNames() []string { return spec.TrafficNames() }
+
+// NewTrafficSource builds a dynamic injection model from a textual traffic
+// spec: "bernoulli" (the default; rate lambda), bursty
+// "mmpp:on=0.9,off=0.05,p10=0.1,p01=0.1", square-wave
+// "onoff:hi=0.9,lo=0.1,period=64,on=32", or "trace:<path>" replaying a
+// recorded JSONL trace bit-exactly (the only model valid under a static
+// plan; a trace carries its own cycle stamps). Rate parameters documented
+// as defaulting do so from lambda; a trace path is opened here.
+func NewTrafficSource(tspec string, p Pattern, a Algorithm, lambda float64, seed int64) (TrafficSource, error) {
+	ts, err := spec.ParseTraffic(tspec)
+	if err != nil {
+		return nil, err
+	}
+	return ts.Build(p, a.Topology().Nodes(), lambda, seed)
+}
+
+// RecordingSource wraps a traffic source and records every injection;
+// with W set it streams the record as trace JSONL that NewTrafficSource's
+// "trace:" model replays bit-exactly. See NewRecordingTraffic.
+type RecordingSource = traffic.RecordingSource
+
+// NewRecordingTraffic wraps src so every injection (and, on the batched
+// path, every blocked attempt) streams to w as trace JSONL. Call Flush when
+// the run ends. The wrapper keeps only the latest record in memory, so
+// recording adds no per-packet allocation to long runs.
+func NewRecordingTraffic(src TrafficSource, w io.Writer) *RecordingSource {
+	return &RecordingSource{Inner: src, Cap: 1, W: w}
+}
+
 // VerifyDeadlockFree builds the algorithm's queue dependency graph by
 // exhaustive exploration and certifies the paper's deadlock-freedom
 // conditions: the static edges form a DAG (up to certified bubble rings)

@@ -11,6 +11,8 @@
 //	go run ./cmd/enginebench -label atomic-change -engine atomic
 //	go run ./cmd/enginebench -label mesh-before -algo mesh -nomask
 //	go run ./cmd/enginebench -label graph-before -algo graph,hyperx -notable
+//	go run ./cmd/enginebench -label inject-before -nobatch
+//	go run ./cmd/enginebench -label bursty -traffic mmpp,trace
 //
 // Comparison mode gates CI on regressions: it compares the matching cells
 // of two trajectory files and exits nonzero when any cell of the second
@@ -44,6 +46,8 @@ func main() {
 		dims      = flag.String("dims", "", "comma-separated sizes (hypercube/shuffle/ccc: dimensions; mesh/torus: side); default per algo, so leave empty when -algo lists several")
 		nomask    = flag.Bool("nomask", false, "disable the port-mask fast path (same-binary baseline for before/after runs)")
 		notable   = flag.Bool("notable", false, "disable the compiled next-hop route tables (same-binary scan-path baseline for graph-adaptive cells)")
+		nobatch   = flag.Bool("nobatch", false, "disable the batched injection fast path (same-binary baseline for before/after runs)")
+		tmodel    = flag.String("traffic", "", "injection model(s) to time, comma-separated: bernoulli|mmpp|trace|perm (default bernoulli)")
 		workers   = flag.String("workers", "", "comma-separated worker counts (default \"1,<NumCPU>\")")
 		warmup    = flag.Int64("warmup", 100, "warmup cycles per cell")
 		measure   = flag.Int64("measure", 400, "measured cycles per cell")
@@ -73,25 +77,31 @@ func main() {
 	}
 
 	var run bench.EngineBenchRun
-	for i, a := range strings.Split(*algo, ",") {
-		cfg := bench.EngineBenchConfig{
-			Algo:    strings.TrimSpace(a),
-			Dims:    parseInts(*dims),
-			Workers: parseInts(*workers),
-			Warmup:  *warmup,
-			Measure: *measure,
-			Repeat:  *repeat,
-			Seed:    *seed,
-			Engine:  *engine,
-			NoMask:  *nomask,
-			NoTable: *notable,
-		}
-		r, err := bench.RunEngineBench(*label, cfg)
-		fatal(err)
-		if i == 0 {
-			run = r
-		} else {
-			run.Results = append(run.Results, r.Results...)
+	first := true
+	for _, a := range strings.Split(*algo, ",") {
+		for _, tm := range strings.Split(*tmodel, ",") {
+			cfg := bench.EngineBenchConfig{
+				Algo:    strings.TrimSpace(a),
+				Dims:    parseInts(*dims),
+				Workers: parseInts(*workers),
+				Warmup:  *warmup,
+				Measure: *measure,
+				Repeat:  *repeat,
+				Seed:    *seed,
+				Engine:  *engine,
+				NoMask:  *nomask,
+				NoTable: *notable,
+				NoBatch: *nobatch,
+				Traffic: strings.TrimSpace(tm),
+			}
+			r, err := bench.RunEngineBench(*label, cfg)
+			fatal(err)
+			if first {
+				run = r
+				first = false
+			} else {
+				run.Results = append(run.Results, r.Results...)
+			}
 		}
 	}
 	run.Note = *note

@@ -8,6 +8,10 @@
 //	routesim -algo mesh-adaptive:16x16 -pattern mesh-transpose -inject static -packets 8
 //	routesim -algo shuffle-adaptive:10 -pattern random -inject static -packets 4 -engine atomic
 //	routesim -algo torus-adaptive:8x8 -pattern random -inject dynamic -lambda 0.4
+//	routesim -algo hypercube-adaptive:8 -inject dynamic -traffic mmpp:on=0.9,off=0.05
+//	routesim -algo hypercube-adaptive:6 -inject dynamic -record run.jsonl
+//	routesim -algo hypercube-adaptive:6 -inject dynamic -traffic trace:run.jsonl
+//	routesim -algo hypercube-adaptive:6 -advsearch -lambda 0.5 -adviters 40
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/bench"
 )
 
 func main() {
@@ -35,6 +40,8 @@ func main() {
 		inject    = flag.String("inject", "static", "injection model: static|dynamic")
 		packets   = flag.Int("packets", 1, "static model: packets per node")
 		lambda    = flag.Float64("lambda", 1.0, "dynamic model: per-cycle injection probability")
+		tmodel    = flag.String("traffic", "", "dynamic traffic model: bernoulli|mmpp:on=,off=,p10=,p01=|onoff:hi=,lo=,period=,on=|trace:<path> (trace also replays under -inject static)")
+		record    = flag.String("record", "", "record the run's injections as trace JSONL to this file (replay with -traffic trace:<file>)")
 		warmup    = flag.Int64("warmup", 500, "dynamic model: warmup cycles")
 		measure   = flag.Int64("measure", 1500, "dynamic model: measured cycles")
 		seed      = flag.Int64("seed", 1, "simulation seed")
@@ -53,6 +60,9 @@ func main() {
 		hopBudget = flag.Int("hop-budget", 0, "extra hops a fault-misrouted packet may take before being dropped (0 = default)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		advsearch = flag.Bool("advsearch", false, "adversarial mode: hill-climb over fixed permutations for the worst-case p99 latency of -algo, then exit")
+		adviters  = flag.Int("adviters", 40, "adversarial mode: hill-climb iterations")
+		advswaps  = flag.Int("advswaps", 0, "adversarial mode: transpositions per mutation (0 = nodes/64)")
 		metrics   = flag.String("metrics", "", "write metric snapshots as JSON lines to this file ('-' for stdout)")
 		mEvery    = flag.Int64("metrics-every", 100, "sampling period of -metrics, in cycles")
 		httpAddr  = flag.String("http", "", "serve Prometheus /metrics and /debug/pprof on this address during the run, e.g. :6060")
@@ -90,6 +100,24 @@ func main() {
 		return
 	}
 
+	if *advsearch {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := bench.RunAdversary(ctx, bench.AdversaryConfig{
+			AlgoSpec: *algoSpec,
+			Engine:   *engine,
+			Lambda:   *lambda,
+			Warmup:   *warmup,
+			Measure:  *measure,
+			Workers:  *workers,
+			Iters:    *adviters,
+			Swaps:    *advswaps,
+			Seed:     *seed,
+		})
+		fatal(err)
+		fmt.Print(bench.FormatAdversary(res))
+		return
+	}
 	if *engine == "wormhole" || strings.HasPrefix(*algoSpec, "wh-") {
 		runWormhole(*algoSpec, *pattern, *inject, *packets, *lambda, *warmup, *measure, *seed, *flits, *vcbuf, *verify, *maxCyc)
 		return
@@ -174,12 +202,33 @@ func main() {
 	var src repro.TrafficSource
 	switch strings.ToLower(*inject) {
 	case "static":
-		src = repro.NewStaticTraffic(pat, algo, *packets, *seed+1)
+		if *tmodel != "" && !strings.HasPrefix(*tmodel, "trace:") {
+			fatal(fmt.Errorf("traffic model %q generates open-loop traffic and needs -inject dynamic (only trace:<path> replays under static)", *tmodel))
+		}
+		if strings.HasPrefix(*tmodel, "trace:") {
+			src, err = repro.NewTrafficSource(*tmodel, pat, algo, *lambda, *seed+1)
+			fatal(err)
+		} else {
+			src = repro.NewStaticTraffic(pat, algo, *packets, *seed+1)
+		}
 	case "dynamic":
-		src = repro.NewDynamicTraffic(pat, algo, *lambda, *seed+1)
+		if *tmodel != "" {
+			src, err = repro.NewTrafficSource(*tmodel, pat, algo, *lambda, *seed+1)
+			fatal(err)
+		} else {
+			src = repro.NewDynamicTraffic(pat, algo, *lambda, *seed+1)
+		}
 		plan = repro.DynamicPlan(*warmup, *measure)
 	default:
 		fatal(fmt.Errorf("unknown injection model %q", *inject))
+	}
+	var recording *repro.RecordingSource
+	if *record != "" {
+		f, err := os.Create(*record)
+		fatal(err)
+		defer func() { fatal(f.Close()) }()
+		recording = repro.NewRecordingTraffic(src, f)
+		src = recording
 	}
 
 	// Ctrl-C cancels the run within one cycle; the partial metrics of the
@@ -197,6 +246,12 @@ func main() {
 	}
 	m := res.Metrics
 	elapsed := time.Since(start).Round(time.Millisecond)
+	if recording != nil {
+		fatal(recording.Flush())
+	}
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		fatal(errSrc.Err())
+	}
 	if res.Canceled {
 		fmt.Printf("interrupted after %d cycles; partial metrics follow\n", m.Cycles)
 	}
@@ -204,9 +259,12 @@ func main() {
 	fmt.Printf("algorithm : %s on %s (%d queues/node, %s engine, policy %s)\n",
 		algo.Name(), algo.Topology().Name(), algo.NumClasses(), *engine, cfg.Policy)
 	fmt.Printf("traffic   : %s, %s", pat.Name(), *inject)
+	if *tmodel != "" {
+		fmt.Printf(" model=%s", *tmodel)
+	}
 	if strings.EqualFold(*inject, "dynamic") {
 		fmt.Printf(" lambda=%g warmup=%d measure=%d", *lambda, *warmup, *measure)
-	} else {
+	} else if *tmodel == "" {
 		fmt.Printf(" packets/node=%d", *packets)
 	}
 	fmt.Println()
@@ -228,6 +286,9 @@ func main() {
 	if jsonl != nil {
 		fatal(jsonl.Err())
 		fmt.Printf("metrics   : %d JSONL records -> %s\n", jsonl.Lines(), *metrics)
+	}
+	if recording != nil {
+		fmt.Printf("recorded  : %d injections -> %s\n", recording.TotalTaken(), *record)
 	}
 }
 

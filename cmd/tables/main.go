@@ -68,6 +68,7 @@ func main() {
 		benchLabel = flag.String("bench-label", "", "label for the -bench record")
 		cache      = flag.String("cache", "", "result cache file: shorthand for -checkpoint FILE -resume (completed cells persist and replay across runs)")
 		rebalance  = flag.Int("rebalance", 0, "occupancy-weighted shard re-cut period in cycles (0 = off; buffered cells with workers > 1)")
+		tmodel     = flag.String("traffic", "", "override the injection model of dynamic cells for ablations: mmpp[:...]|onoff[:...] (default: the paper's Bernoulli process); static cells are unaffected")
 		scalingOut = flag.String("scaling", "", "scaling mode: rerun the sweep once per -scaling-jobs value and append a cells/s curve to this JSON file")
 		scalingJob = flag.String("scaling-jobs", "1,2", "scaling mode: comma-separated -jobs values to sweep")
 	)
@@ -81,6 +82,7 @@ func main() {
 		Algorithm:      *algo,
 		Engine:         *engine,
 		RebalanceEvery: *rebalance,
+		Traffic:        *tmodel,
 	}
 	p, err := sim.ParsePolicy(*policy)
 	if err != nil {

@@ -88,6 +88,10 @@ type Options struct {
 	// on the buffered engine). Results are identical either way; the knob
 	// only trades re-cut cost against better load balance.
 	RebalanceEvery int
+	// Traffic overrides the injection model of dynamic cells for ablations:
+	// a RunSpec traffic spec such as "mmpp" or "onoff:hi=0.9,lo=0.1" (empty
+	// = the paper's Bernoulli process). Static cells ignore it.
+	Traffic string
 }
 
 // Filled returns the options with unset fields replaced by the paper's
@@ -254,6 +258,7 @@ func (ex Experiment) Spec(dims int, opt Options) (exec.RunSpec, error) {
 		s.Inject, s.Packets = "static", dims
 	case Dynamic:
 		s.Inject, s.Lambda, s.Warmup, s.Measure = "dynamic", 1, opt.Warmup, opt.Measure
+		s.Traffic = opt.Traffic
 	default:
 		return exec.RunSpec{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}

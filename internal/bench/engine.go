@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/xrand"
 )
 
 // EngineBenchConfig selects the grid the engine benchmark sweeps.
@@ -47,6 +48,16 @@ type EngineBenchConfig struct {
 	// (Config.DisableRouteTable), giving a same-binary baseline for
 	// before/after route-table measurements on the graph-adaptive cells.
 	NoTable bool
+	// NoBatch disables the batched injection fast path
+	// (Config.DisableBatchInject), giving a same-binary baseline for
+	// before/after batch-injection measurements.
+	NoBatch bool
+	// Traffic selects the injection model the cells time: "bernoulli"
+	// (default), "mmpp" (bursty, on-rate = the cell's lambda), "trace"
+	// (record one bernoulli run per cell to a temporary JSONL, then time
+	// its replay), or "perm" (bernoulli attempts over a fixed seeded
+	// random permutation — the adversarial-search workload shape).
+	Traffic string
 }
 
 func (c *EngineBenchConfig) fill() {
@@ -125,7 +136,15 @@ type EngineBenchResult struct {
 	// NoTable marks cells timed with the compiled next-hop route tables
 	// disabled (baseline cells of a before/after route-table measurement on
 	// graph-adaptive topologies).
-	NoTable      bool    `json:"notable,omitempty"`
+	NoTable bool `json:"notable,omitempty"`
+	// NoBatch marks cells timed with the batched injection fast path
+	// disabled (baseline cells of a before/after batch-injection
+	// measurement).
+	NoBatch bool `json:"nobatch,omitempty"`
+	// Traffic is the injection model the cell timed; empty in runs recorded
+	// before the benchmark covered non-Bernoulli models (implying
+	// "bernoulli").
+	Traffic      string  `json:"traffic,omitempty"`
 	Dims         int     `json:"dims"`
 	Nodes        int     `json:"nodes"`
 	Workers      int     `json:"workers"`
@@ -279,24 +298,34 @@ func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResul
 	}
 	nodes := algo.Topology().Nodes()
 	lambda := benchLambda(cfg.Algo)
+	newSource, cleanup, err := benchSource(cfg, algo, nodes, lambda, workers)
+	if err != nil {
+		return EngineBenchResult{}, err
+	}
+	defer cleanup()
 	best := EngineBenchResult{
 		Engine: cfg.Engine, Algo: cfg.Algo, NoMask: cfg.NoMask, NoTable: cfg.NoTable,
+		NoBatch: cfg.NoBatch, Traffic: cfg.Traffic,
 		Dims: dims, Nodes: nodes, Workers: workers,
 	}
 	for _, withObs := range []bool{false, true} {
 		eng, err := sim.NewSimulator(cfg.Engine, sim.Config{
-			Algorithm:         algo,
-			Seed:              cfg.Seed,
-			Workers:           workers,
-			Metrics:           withObs,
-			DisablePortMask:   cfg.NoMask,
-			DisableRouteTable: cfg.NoTable,
+			Algorithm:          algo,
+			Seed:               cfg.Seed,
+			Workers:            workers,
+			Metrics:            withObs,
+			DisablePortMask:    cfg.NoMask,
+			DisableRouteTable:  cfg.NoTable,
+			DisableBatchInject: cfg.NoBatch,
 		})
 		if err != nil {
 			return EngineBenchResult{}, err
 		}
 		for rep := 0; rep < cfg.Repeat; rep++ {
-			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, lambda, cfg.Seed+2)
+			src, err := newSource()
+			if err != nil {
+				return EngineBenchResult{}, err
+			}
 			start := time.Now()
 			res, err := eng.Run(nil, src, sim.DynamicPlan(cfg.Warmup, cfg.Measure))
 			if err != nil {
@@ -318,6 +347,68 @@ func engineBenchCell(dims, workers int, cfg EngineBenchConfig) (EngineBenchResul
 		}
 	}
 	return best, nil
+}
+
+// benchSource returns a factory producing a fresh, deterministic traffic
+// source per repetition for cfg.Traffic, plus a cleanup for any artifacts.
+// The "trace" model pays its recording cost once here, outside the timed
+// region: a bernoulli run of the same shape is recorded to a temporary
+// JSONL, and every repetition times a replay of that file.
+func benchSource(cfg EngineBenchConfig, algo core.Algorithm, nodes int, lambda float64, workers int) (func() (sim.TrafficSource, error), func(), error) {
+	pat := traffic.Pattern(traffic.Random{Nodes: nodes})
+	nop := func() {}
+	switch cfg.Traffic {
+	case "", "bernoulli":
+		return func() (sim.TrafficSource, error) {
+			return traffic.NewBernoulliSource(pat, nodes, lambda, cfg.Seed+2), nil
+		}, nop, nil
+	case "mmpp":
+		return func() (sim.TrafficSource, error) {
+			return traffic.NewMMPP(pat, nodes, lambda, 0.05*lambda, 0.1, 0.1, cfg.Seed+2), nil
+		}, nop, nil
+	case "perm":
+		sigma := make([]int32, nodes)
+		rng := xrand.New(cfg.Seed+3, 0)
+		rng.Perm(sigma)
+		perm := &traffic.Permutation{Label: "bench-perm", Sigma: sigma}
+		return func() (sim.TrafficSource, error) {
+			return traffic.NewBernoulliSource(perm, nodes, lambda, cfg.Seed+2), nil
+		}, nop, nil
+	case "trace":
+		f, err := os.CreateTemp("", "enginebench-*.jsonl")
+		if err != nil {
+			return nil, nop, err
+		}
+		path := f.Name()
+		cleanup := func() { os.Remove(path) }
+		rec := &traffic.RecordingSource{
+			Inner: traffic.NewBernoulliSource(pat, nodes, lambda, cfg.Seed+2),
+			Cap:   1,
+			W:     f,
+		}
+		eng, err := sim.NewSimulator(cfg.Engine, sim.Config{Algorithm: algo, Seed: cfg.Seed, Workers: workers})
+		if err == nil {
+			_, err = eng.Run(nil, rec, sim.DynamicPlan(cfg.Warmup, cfg.Measure))
+		}
+		if err == nil {
+			err = rec.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			cleanup()
+			return nil, nop, err
+		}
+		return func() (sim.TrafficSource, error) {
+			tf, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			return traffic.NewTraceSource(tf, nodes), nil
+		}, cleanup, nil
+	}
+	return nil, nop, fmt.Errorf("bench: unknown traffic model %q (want bernoulli, mmpp, trace, or perm)", cfg.Traffic)
 }
 
 // LoadEngineBench reads a trajectory file; a missing file yields an empty
@@ -383,15 +474,26 @@ func algoOf(r *EngineBenchResult) string {
 	return r.Algo
 }
 
-// matchCell returns the cell of run with the same (engine, algo, dims,
-// workers) coordinates as r, or nil. NoMask and NoTable are deliberately
-// not part of the key: a fast-path run compared against a -nomask or
-// -notable baseline run is exactly the before/after measurement those
-// flags exist for.
+// trafficOf normalizes the traffic model of a recorded cell: cells from
+// before the benchmark covered non-Bernoulli models carry no name and mean
+// "bernoulli".
+func trafficOf(r *EngineBenchResult) string {
+	if r.Traffic == "" {
+		return "bernoulli"
+	}
+	return r.Traffic
+}
+
+// matchCell returns the cell of run with the same (engine, algo, traffic,
+// dims, workers) coordinates as r, or nil. NoMask, NoTable and NoBatch are
+// deliberately not part of the key: a fast-path run compared against a
+// -nomask, -notable or -nobatch baseline run is exactly the before/after
+// measurement those flags exist for.
 func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
 	for i := range run.Results {
 		b := &run.Results[i]
-		if engineOf(b) == engineOf(r) && algoOf(b) == algoOf(r) && b.Dims == r.Dims && b.Workers == r.Workers {
+		if engineOf(b) == engineOf(r) && algoOf(b) == algoOf(r) && trafficOf(b) == trafficOf(r) &&
+			b.Dims == r.Dims && b.Workers == r.Workers {
 			return b
 		}
 	}
@@ -402,15 +504,15 @@ func matchCell(run *EngineBenchRun, r *EngineBenchResult) *EngineBenchResult {
 // speedups against a baseline run when one is supplied.
 func FormatEngineBench(run EngineBenchRun, baseline *EngineBenchRun) string {
 	s := fmt.Sprintf("engine bench %q (%s, ncpu=%d)\n", run.Label, run.Date, run.NumCPU)
-	s += "   engine      algo dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
+	s += "   engine      algo   traffic dims   nodes workers |   cycles/s     pkts/s  obs-ovh"
 	if baseline != nil {
 		s += " | vs " + baseline.Label
 	}
 	s += "\n"
 	for i := range run.Results {
 		r := &run.Results[i]
-		s += fmt.Sprintf(" %8s %9s   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%",
-			engineOf(r), algoOf(r), r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
+		s += fmt.Sprintf(" %8s %9s %9s   %2d %7d %7d | %10.1f %10.1f  %+6.1f%%",
+			engineOf(r), algoOf(r), trafficOf(r), r.Dims, r.Nodes, r.Workers, r.CyclesPerSec, r.PktsPerSec, r.ObsOverheadPct())
 		if baseline != nil {
 			if b := matchCell(baseline, r); b != nil && b.CyclesPerSec > 0 {
 				s += fmt.Sprintf(" | %5.2fx", r.CyclesPerSec/b.CyclesPerSec)

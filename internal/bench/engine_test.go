@@ -61,3 +61,85 @@ func TestEngineBenchFormatSpeedup(t *testing.T) {
 		t.Fatalf("speedup column missing from:\n%s", out)
 	}
 }
+
+// TestEngineBenchTrafficCells smoke-runs one tiny cell per traffic model and
+// checks the before/after matching semantics: NoBatch is excluded from the
+// cell key (so a -nobatch baseline pairs with the fast-path run) while the
+// traffic model is part of it.
+func TestEngineBenchTrafficCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps four simulations")
+	}
+	for _, model := range []string{"", "mmpp", "trace", "perm"} {
+		cfg := EngineBenchConfig{
+			Dims: []int{4}, Workers: []int{1}, Warmup: 10, Measure: 40,
+			Repeat: 1, Traffic: model,
+		}
+		run, err := RunEngineBench("t", cfg)
+		if err != nil {
+			t.Fatalf("traffic=%q: %v", model, err)
+		}
+		r := run.Results[0]
+		if r.Cycles != 50 || r.CyclesPerSec <= 0 {
+			t.Errorf("traffic=%q: implausible cell %+v", model, r)
+		}
+		if r.Delivered == 0 {
+			t.Errorf("traffic=%q: no deliveries", model)
+		}
+	}
+
+	fast := EngineBenchResult{Dims: 4, Workers: 1}
+	slow := EngineBenchRun{Results: []EngineBenchResult{{Dims: 4, Workers: 1, NoBatch: true, CyclesPerSec: 1}}}
+	if matchCell(&slow, &fast) == nil {
+		t.Error("NoBatch baseline cell must match the fast-path cell")
+	}
+	mmpp := EngineBenchResult{Dims: 4, Workers: 1, Traffic: "mmpp"}
+	if matchCell(&slow, &mmpp) != nil {
+		t.Error("different traffic models must not match")
+	}
+	bern := EngineBenchResult{Dims: 4, Workers: 1, Traffic: "bernoulli"}
+	if matchCell(&slow, &bern) == nil {
+		t.Error("explicit \"bernoulli\" must match a legacy unlabeled cell")
+	}
+}
+
+// TestRunAdversary smoke-runs the permutation search on a tiny hypercube and
+// checks determinism and the shape of the result.
+func TestRunAdversary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	cfg := AdversaryConfig{
+		AlgoSpec: "hypercube-adaptive:4", Lambda: 0.4,
+		Warmup: 20, Measure: 100, Iters: 4, Seed: 3,
+	}
+	a, err := RunAdversary(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes != 16 || len(a.Sigma) != 16 || len(a.Evals) != 5 {
+		t.Fatalf("unexpected shape: nodes=%d sigma=%d evals=%d", a.Nodes, len(a.Sigma), len(a.Evals))
+	}
+	seen := make([]bool, 16)
+	for _, d := range a.Sigma {
+		seen[d] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Sigma is not a permutation: %d missing", i)
+		}
+	}
+	if a.BestP99 < a.Evals[0].P99 {
+		t.Errorf("best p99 %d below the initial permutation's %d", a.BestP99, a.Evals[0].P99)
+	}
+	b, err := RunAdversary(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BestP99 != a.BestP99 || b.RandomP99 != a.RandomP99 {
+		t.Errorf("search is not deterministic: %d/%d vs %d/%d", a.BestP99, a.RandomP99, b.BestP99, b.RandomP99)
+	}
+	if FormatAdversary(a) == "" {
+		t.Error("empty report")
+	}
+}

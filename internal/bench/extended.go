@@ -151,6 +151,7 @@ func (ex Extended) Spec(size int, opt Options) (exec.RunSpec, error) {
 		s.Inject, s.Packets = "static", ex.PacketsPerNode(size)
 	case Dynamic:
 		s.Inject, s.Lambda, s.Warmup, s.Measure = "dynamic", ex.Lambda, opt.Warmup, opt.Measure
+		s.Traffic = opt.Traffic
 	default:
 		return exec.RunSpec{}, fmt.Errorf("bench: unknown injection %q", ex.Injection)
 	}

@@ -235,6 +235,16 @@ type Packet struct {
 	Work       uint32     // algorithm scratch state
 }
 
+// PendingInject is one committed injection produced by a batched traffic
+// source for the current cycle: node Node injects a packet destined to Dst.
+// It lives here (rather than in the sim package, next to the BatchSource
+// interface it serves) so traffic sources can implement batched filling
+// without importing the engines.
+type PendingInject struct {
+	Node int32
+	Dst  int32
+}
+
 // HopsMisrouted is the misroute flag, stored in the top bit of Packet.Hops
 // rather than a new field so the struct stays 32 bytes. Set once a packet
 // has been detoured off a minimal path by fault-degraded routing; such

@@ -441,3 +441,83 @@ func TestRunErrorNotCached(t *testing.T) {
 		t.Fatalf("retry after failure: status %d", resp2.StatusCode)
 	}
 }
+
+// A v2 spec carrying a traffic model executes, caches under its own
+// fingerprint (distinct from the Bernoulli default), and echoes the model
+// in the canonical spec; an explicit "bernoulli" hits the default's cache
+// entry. A malformed model is a 4xx validation error naming the field.
+func TestTrafficSpecRoundTrip(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	base := exec.RunSpec{Algo: "hypercube-adaptive:4", Inject: "dynamic", Lambda: 0.5, Warmup: 20, Measure: 100, Seed: 2}
+	mmpp := base
+	mmpp.Traffic = "mmpp:on=0.9,off=0.05"
+
+	resp1, body1 := postSpec(t, hs.URL, mmpp)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("mmpp POST: %d %s", resp1.StatusCode, body1)
+	}
+	var r1 struct {
+		Cached  bool            `json:"cached"`
+		FP      string          `json:"fingerprint"`
+		Spec    exec.RunSpec    `json:"spec"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first mmpp request claims a cache hit on an empty store")
+	}
+	if r1.Spec.Traffic != "mmpp:on=0.9,off=0.05" {
+		t.Fatalf("canonical spec lost the traffic model: %q", r1.Spec.Traffic)
+	}
+
+	resp2, body2 := postSpec(t, hs.URL, base)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("bernoulli POST: %d %s", resp2.StatusCode, body2)
+	}
+	var r2 struct {
+		Cached bool   `json:"cached"`
+		FP     string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cached {
+		t.Fatal("default-traffic run must not hit the mmpp cache entry")
+	}
+	if r1.FP == r2.FP {
+		t.Fatal("mmpp and bernoulli runs share a fingerprint")
+	}
+
+	// Explicit "bernoulli" is the same run as the default spelling.
+	explicit := base
+	explicit.Traffic = "bernoulli"
+	resp3, body3 := postSpec(t, hs.URL, explicit)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("explicit bernoulli POST: %d %s", resp3.StatusCode, body3)
+	}
+	var r3 struct {
+		Cached bool   `json:"cached"`
+		FP     string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(body3, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached || r3.FP != r2.FP {
+		t.Fatalf("explicit bernoulli: cached=%v fp=%s, want cache hit on %s", r3.Cached, r3.FP, r2.FP)
+	}
+	if c := srv.st.Stats().Counts(); c.Hits != 1 || c.Puts != 2 {
+		t.Fatalf("store counters: %+v, want 1 hit / 2 puts", c)
+	}
+
+	bad := base
+	bad.Traffic = "poisson"
+	resp4, body4 := postSpec(t, hs.URL, bad)
+	if resp4.StatusCode != http.StatusUnprocessableEntity && resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown traffic model: %d %s", resp4.StatusCode, body4)
+	}
+	if !bytes.Contains(body4, []byte("traffic")) {
+		t.Fatalf("validation error does not name the traffic field: %s", body4)
+	}
+}

@@ -45,7 +45,10 @@ func Run(ctx context.Context, s RunSpec, o obs.Observer) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	src, plan := c.source()
+	src, plan, err := c.source()
+	if err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	res, err := eng.Run(ctx, src, plan)
 	if err != nil {

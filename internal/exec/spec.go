@@ -68,6 +68,13 @@ type RunSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Inject selects the injection model: "static" (default) or "dynamic".
 	Inject string `json:"inject,omitempty"`
+	// Traffic selects the dynamic traffic model (internal/spec traffic
+	// grammar): "bernoulli" (default), "mmpp:on=..,off=..,p10=..,p01=..",
+	// "onoff:hi=..,lo=..,period=..,on=..", or "trace:<path>". The generative
+	// models require Inject "dynamic"; trace replay works with either
+	// injection plan. Rate parameters documented as defaulting do so from
+	// Lambda.
+	Traffic string `json:"traffic,omitempty"`
 	// Packets is the static model's packets per node (default 1).
 	Packets int `json:"packets,omitempty"`
 	// Lambda is the dynamic model's per-cycle injection probability
@@ -172,6 +179,9 @@ func (s RunSpec) Canon() RunSpec {
 		if c.Measure == 0 {
 			c.Measure = 1500
 		}
+		if c.Traffic == "" {
+			c.Traffic = "bernoulli"
+		}
 		c.Packets, c.MaxCycles = 0, 0
 	}
 	if c.QueueCap == 0 {
@@ -191,12 +201,13 @@ func (s RunSpec) Validate() error {
 
 // compiled is the validated, constructed form of a spec.
 type compiled struct {
-	spec   RunSpec // canonical
-	algo   core.Algorithm
-	pat    traffic.Pattern
-	policy sim.Policy
-	plan   fault.Plan // zero unless faults are set
-	faults *fault.Plan
+	spec    RunSpec // canonical
+	algo    core.Algorithm
+	pat     traffic.Pattern
+	policy  sim.Policy
+	plan    fault.Plan // zero unless faults are set
+	faults  *fault.Plan
+	traffic *spec.TrafficSpec // nil when the spec names no traffic model
 }
 
 func (s RunSpec) compile() (*compiled, error) {
@@ -277,6 +288,16 @@ func (s RunSpec) compile() (*compiled, error) {
 			"the atomic engine is inherently sequential and cannot use %d workers; omit workers or use the buffered engine", c.Workers)
 	}
 	out := &compiled{spec: c, algo: algo, pat: pat, policy: policy}
+	if c.Traffic != "" {
+		ts, err := spec.ParseTraffic(c.Traffic)
+		if err != nil {
+			return nil, &FieldError{Field: "traffic", Err: err}
+		}
+		if ts.Dynamic() && c.Inject != "dynamic" {
+			return nil, fieldErr("traffic", "model %q generates dynamic traffic and needs inject \"dynamic\", got %q", ts.Kind, c.Inject)
+		}
+		out.traffic = ts
+	}
 	if c.Faults != "" {
 		plan, err := fault.ParseSpec(c.Faults)
 		if err != nil {
@@ -315,10 +336,19 @@ func (s RunSpec) Fingerprint(buildID string) string {
 			version, topoPart = 2, "|topology="+c.Topology
 		}
 	}
-	id := fmt.Sprintf("rs%d|algo=%s%s|pattern=%s|engine=%s|policy=%s|seed=%d|inject=%s|packets=%d|lambda=%g|warmup=%d|measure=%d|maxcycles=%d|cap=%d|faults=%s|hop=%d|build=%s",
+	// The traffic part appears only for non-default models, so every spec
+	// that predates the traffic field — and every spec spelling the default
+	// explicitly — keeps the fingerprint it always had. No older recipe can
+	// collide with the inserted part: the fields before it (faults, hop)
+	// never contain "|traffic=".
+	trafficPart := ""
+	if c.Traffic != "" && c.Traffic != "bernoulli" {
+		trafficPart = "|traffic=" + c.Traffic
+	}
+	id := fmt.Sprintf("rs%d|algo=%s%s|pattern=%s|engine=%s|policy=%s|seed=%d|inject=%s|packets=%d|lambda=%g|warmup=%d|measure=%d|maxcycles=%d|cap=%d|faults=%s|hop=%d%s|build=%s",
 		version, algoField, topoPart, c.Pattern, c.Engine, c.Policy, c.Seed, c.Inject,
 		c.Packets, c.Lambda, c.Warmup, c.Measure, c.MaxCycles,
-		c.QueueCap, c.Faults, c.HopBudget, buildID)
+		c.QueueCap, c.Faults, c.HopBudget, trafficPart, buildID)
 	h := sha256.Sum256([]byte(id))
 	return hex.EncodeToString(h[:12])
 }
@@ -359,18 +389,28 @@ func (s RunSpec) Source() (sim.TrafficSource, sim.Plan, error) {
 	if err != nil {
 		return nil, sim.Plan{}, err
 	}
-	src, plan := c.source()
-	return src, plan, nil
+	return c.source()
 }
 
-func (c *compiled) source() (sim.TrafficSource, sim.Plan) {
+// source builds the traffic source and plan. It can fail: a trace model
+// opens its file here, at run time.
+func (c *compiled) source() (sim.TrafficSource, sim.Plan, error) {
 	nodes := c.algo.Topology().Nodes()
+	plan := sim.StaticPlan(c.spec.MaxCycles)
 	if c.spec.Inject == "dynamic" {
-		return traffic.NewBernoulliSource(c.pat, nodes, c.spec.Lambda, c.spec.Seed+2),
-			sim.DynamicPlan(c.spec.Warmup, c.spec.Measure)
+		plan = sim.DynamicPlan(c.spec.Warmup, c.spec.Measure)
 	}
-	return traffic.NewStaticSource(c.pat, nodes, c.spec.Packets, c.spec.Seed+2),
-		sim.StaticPlan(c.spec.MaxCycles)
+	if c.traffic != nil {
+		src, err := c.traffic.Build(c.pat, nodes, c.spec.Lambda, c.spec.Seed+2)
+		if err != nil {
+			return nil, sim.Plan{}, &FieldError{Field: "traffic", Reason: err.Error(), Err: err}
+		}
+		return src, plan, nil
+	}
+	if c.spec.Inject == "dynamic" {
+		return traffic.NewBernoulliSource(c.pat, nodes, c.spec.Lambda, c.spec.Seed+2), plan, nil
+	}
+	return traffic.NewStaticSource(c.pat, nodes, c.spec.Packets, c.spec.Seed+2), plan, nil
 }
 
 // Cost estimates the run's work in node-cycles for admission control and

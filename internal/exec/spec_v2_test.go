@@ -130,3 +130,54 @@ func TestGraphFingerprintShape(t *testing.T) {
 		t.Error("different generator parameters share a fingerprint")
 	}
 }
+
+// TestTrafficFingerprints pins the traffic field's fingerprint behavior:
+// the default model (empty or explicit "bernoulli") must not move any
+// pre-traffic store key, while non-default models get their own stable key.
+func TestTrafficFingerprints(t *testing.T) {
+	base := RunSpec{Algo: "hypercube-adaptive:10", Pattern: "transpose", Inject: "dynamic", Seed: 7}
+	const want = "6e69f36aadd1b07d5cdd14d8" // golden v1 value, pinned above
+	if got := base.Fingerprint("golden-build"); got != want {
+		t.Fatalf("base fingerprint drifted: %s", got)
+	}
+	explicit := base
+	explicit.Traffic = "bernoulli"
+	if got := explicit.Fingerprint("golden-build"); got != want {
+		t.Errorf("explicit default traffic moved the fingerprint: got %s, want %s", got, want)
+	}
+
+	mmpp := base
+	mmpp.Traffic = "mmpp:on=0.9,off=0.05,p10=0.1,p01=0.1"
+	const wantMMPP = "5d48e5123fe54048a8277d11"
+	if got := mmpp.Fingerprint("golden-build"); got != wantMMPP {
+		t.Errorf("mmpp fingerprint drifted: got %s, want %s", got, wantMMPP)
+	}
+	if got := mmpp.Fingerprint("golden-build"); got == want {
+		t.Error("mmpp traffic did not change the fingerprint")
+	}
+}
+
+func TestValidateTrafficField(t *testing.T) {
+	ok := RunSpec{Algo: "hypercube-adaptive:4", Inject: "dynamic", Traffic: "mmpp:on=0.8"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid mmpp spec rejected: %v", err)
+	}
+	var fe *FieldError
+	bad := RunSpec{Algo: "hypercube-adaptive:4", Inject: "dynamic", Traffic: "poisson"}
+	if err := bad.Validate(); !errors.As(err, &fe) || fe.Field != "traffic" {
+		t.Errorf("unknown traffic model: %v", err)
+	}
+	static := RunSpec{Algo: "hypercube-adaptive:4", Traffic: "mmpp"}
+	if err := static.Validate(); !errors.As(err, &fe) || fe.Field != "traffic" {
+		t.Errorf("mmpp under static injection should fail on the traffic field: %v", err)
+	}
+	// Trace replay is allowed under both plans; parse errors still surface.
+	trace := RunSpec{Algo: "hypercube-adaptive:4", Traffic: "trace:run.jsonl"}
+	if err := trace.Validate(); err != nil {
+		t.Errorf("trace under static injection rejected: %v", err)
+	}
+	malformed := RunSpec{Algo: "hypercube-adaptive:4", Inject: "dynamic", Traffic: "mmpp:on=2"}
+	if err := malformed.Validate(); !errors.As(err, &fe) || fe.Field != "traffic" {
+		t.Errorf("malformed mmpp: %v", err)
+	}
+}

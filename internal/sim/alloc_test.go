@@ -8,7 +8,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
@@ -22,23 +25,47 @@ func TestSteadyStateAllocs(t *testing.T) {
 		algo    string
 		workers int
 		metrics bool
+		source  string // "" = bernoulli
+		noBatch bool
 	}{
-		{"buffered", "hypercube", 1, false},
-		{"buffered", "hypercube", 1, true},
-		{"buffered", "hypercube", 2, false},
-		{"buffered", "hypercube", 2, true},
-		{"atomic", "hypercube", 1, false},
-		{"atomic", "hypercube", 1, true},
+		{engine: "buffered", algo: "hypercube", workers: 1},
+		{engine: "buffered", algo: "hypercube", workers: 1, metrics: true},
+		{engine: "buffered", algo: "hypercube", workers: 2},
+		{engine: "buffered", algo: "hypercube", workers: 2, metrics: true},
+		{engine: "atomic", algo: "hypercube", workers: 1},
+		{engine: "atomic", algo: "hypercube", workers: 1, metrics: true},
+		// The sources implement BatchSource, so the cases above exercise the
+		// batched injection path; DisableBatchInject keeps the scalar path
+		// covered too.
+		{engine: "buffered", algo: "hypercube", workers: 1, noBatch: true},
+		{engine: "buffered", algo: "hypercube", workers: 2, noBatch: true},
+		{engine: "atomic", algo: "hypercube", workers: 1, noBatch: true},
+		// The other traffic models must be allocation-free on both paths:
+		// bursty MMPP, the time-varying square wave, and trace replay from a
+		// pre-opened file (incremental decode, no per-packet allocation).
+		{engine: "buffered", algo: "hypercube", workers: 1, source: "mmpp"},
+		{engine: "buffered", algo: "hypercube", workers: 2, source: "mmpp"},
+		{engine: "atomic", algo: "hypercube", workers: 1, source: "mmpp"},
+		{engine: "buffered", algo: "hypercube", workers: 1, source: "onoff"},
+		{engine: "buffered", algo: "hypercube", workers: 1, source: "trace"},
+		{engine: "buffered", algo: "hypercube", workers: 2, source: "trace"},
+		{engine: "atomic", algo: "hypercube", workers: 1, source: "trace"},
+		{engine: "buffered", algo: "hypercube", workers: 1, source: "mmpp", noBatch: true},
 		// Graph-adaptive runs route through the compiled next-hop tables;
 		// the table path must not allocate after construction either.
-		{"buffered", "graph", 1, false},
-		{"buffered", "graph", 1, true},
-		{"buffered", "graph", 2, false},
-		{"atomic", "graph", 1, false},
-		{"atomic", "graph", 1, true},
+		{engine: "buffered", algo: "graph", workers: 1},
+		{engine: "buffered", algo: "graph", workers: 1, metrics: true},
+		{engine: "buffered", algo: "graph", workers: 2},
+		{engine: "atomic", algo: "graph", workers: 1},
+		{engine: "atomic", algo: "graph", workers: 1, metrics: true},
 	}
 	for _, tc := range cases {
-		name := fmt.Sprintf("%s/%s/workers=%d/metrics=%v", tc.engine, tc.algo, tc.workers, tc.metrics)
+		source := tc.source
+		if source == "" {
+			source = "bernoulli"
+		}
+		name := fmt.Sprintf("%s/%s/workers=%d/metrics=%v/%s/nobatch=%v",
+			tc.engine, tc.algo, tc.workers, tc.metrics, source, tc.noBatch)
 		t.Run(name, func(t *testing.T) {
 			var algo core.Algorithm = core.NewHypercubeAdaptive(6)
 			lambda := 1.0
@@ -53,16 +80,27 @@ func TestSteadyStateAllocs(t *testing.T) {
 				lambda = 0.3 // below saturation, matching the bench rates
 			}
 			eng, err := NewSimulator(tc.engine, Config{
-				Algorithm: algo,
-				Seed:      1,
-				Workers:   tc.workers,
-				Metrics:   tc.metrics,
+				Algorithm:          algo,
+				Seed:               1,
+				Workers:            tc.workers,
+				Metrics:            tc.metrics,
+				DisableBatchInject: tc.noBatch,
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			nodes := algo.Topology().Nodes()
-			src := traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, lambda, 3)
+			var src TrafficSource
+			switch source {
+			case "bernoulli":
+				src = traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, lambda, 3)
+			case "mmpp":
+				src = traffic.NewMMPP(traffic.Random{Nodes: nodes}, nodes, 0.9, 0.05, 0.1, 0.1, 3)
+			case "onoff":
+				src = traffic.NewOnOff(traffic.Random{Nodes: nodes}, nodes, 0.9, 0.1, 64, 32, 3)
+			case "trace":
+				src = traffic.NewTraceSource(openAllocTrace(t, tc.engine, nodes), nodes)
+			}
 			// A plan far longer than the test steps, so Step never completes
 			// (completion tears down run state, which is not the steady state).
 			eng.Start(src, DynamicPlan(0, 1<<30))
@@ -83,5 +121,139 @@ func TestSteadyStateAllocs(t *testing.T) {
 				t.Errorf("Step allocates %.1f times per cycle in steady state, want 0", allocs)
 			}
 		})
+	}
+}
+
+// openAllocTrace records a short saturated run to a temp file and reopens
+// it, so the trace-replay alloc cases decode from a real pre-opened file.
+func openAllocTrace(t *testing.T, engine string, nodes int) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewSimulator(engine, Config{Algorithm: core.NewHypercubeAdaptive(6), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &traffic.RecordingSource{
+		Inner: traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, 3),
+		Cap:   1,
+		W:     f,
+	}
+	if _, err := e.Run(context.Background(), rec, DynamicPlan(0, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rf
+}
+
+// TestTraceReplayMillionsZeroAlloc is the acceptance run for the trace
+// pipeline at scale: a recorded run of over two million packets replays
+// bit-exactly from disk, with zero steady-state allocations per cycle
+// measured mid-replay. The run is dim-10 at saturation, so it also soaks the
+// batched injection path's word-level occupancy scan.
+func TestTraceReplayMillionsZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-packet run")
+	}
+	const dim = 10
+	const targetPackets = 2_100_000
+	mkEngine := func() Simulator {
+		e, err := NewSimulator("buffered", Config{
+			Algorithm: core.NewHypercubeAdaptive(dim),
+			Seed:      5,
+			Workers:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	nodes := 1 << dim
+
+	// Probe the sustained injection rate, then size the recorded run to
+	// clear the packet target.
+	probe, err := mkEngine().Run(context.Background(),
+		traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, 9),
+		DynamicPlan(0, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCycle := float64(probe.Metrics.Injected) / 300
+	cycles := int64(targetPackets/perCycle) + 100
+
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &traffic.RecordingSource{
+		Inner: traffic.NewBernoulliSource(traffic.Random{Nodes: nodes}, nodes, 1.0, 9),
+		Cap:   1,
+		W:     f,
+	}
+	res1, err := mkEngine().Run(context.Background(), rec, DynamicPlan(0, cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res1.Metrics.Injected < 2_000_000 {
+		t.Fatalf("recorded run injected %d packets, want >= 2M", res1.Metrics.Injected)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := traffic.NewTraceSource(rf, nodes)
+	e := mkEngine()
+	e.Start(src, DynamicPlan(0, cycles))
+	for i := 0; i < 200; i++ {
+		if done, err := e.Step(); done {
+			t.Fatalf("replay finished early: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if done, err := e.Step(); done {
+			t.Fatalf("replay finished mid-measurement: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("trace replay allocates %.1f times per cycle in steady state, want 0", allocs)
+	}
+	for {
+		done, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	res2, err := e.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if res1.Metrics != res2.Metrics {
+		t.Errorf("replay diverged from recording:\n recorded %+v\n replayed %+v", res1.Metrics, res2.Metrics)
 	}
 }

@@ -54,6 +54,13 @@ type AtomicEngine struct {
 	injQ   []injSlot
 	rngs   []xrand.RNG
 	nextID []int64
+	// injFull mirrors injQ[u].full as a bitmap for the batched injection
+	// path (see BatchSource); maintained unconditionally, like the buffered
+	// engine's. curBatch is non-nil while the current run is batched;
+	// batchBuf is its reusable PendingInject buffer.
+	injFull  []uint64
+	curBatch BatchSource
+	batchBuf []core.PendingInject
 	// actBits marks nodes whose traffic source may still inject (bit u of
 	// word u/64), replacing a []bool sweep over all nodes: the injection
 	// loop iterates set bits only, so drained sources cost nothing.
@@ -118,6 +125,7 @@ func NewAtomicEngine(cfg Config) (*AtomicEngine, error) {
 	e.rngs = make([]xrand.RNG, e.nodes)
 	e.nextID = make([]int64, e.nodes)
 	e.actBits = make([]uint64, (e.nodes+63)/64)
+	e.injFull = make([]uint64, (e.nodes+63)/64)
 	e.headID = make([]int64, nQueues)
 	e.ports = t.Ports()
 	if !cfg.DisablePortMask {
@@ -164,6 +172,9 @@ func (e *AtomicEngine) reset() {
 	}
 	for i := range e.actBits {
 		e.actBits[i] = ^uint64(0)
+	}
+	for i := range e.injFull {
+		e.injFull[i] = 0
 	}
 	if tail := uint(e.nodes) & 63; tail != 0 {
 		e.actBits[len(e.actBits)-1] = (uint64(1) << tail) - 1
@@ -241,6 +252,10 @@ func (e *AtomicEngine) Start(src TrafficSource, plan Plan) {
 
 func (e *AtomicEngine) start(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) {
 	e.reset()
+	e.curBatch = batchFor(src, &e.cfg, e.flt != nil)
+	if e.curBatch != nil && e.batchBuf == nil {
+		e.batchBuf = make([]core.PendingInject, e.nodes)
+	}
 	e.rs = atomicRunState{
 		src: src, win: win, stopAt: stopAt, maxCycles: maxCycles, drain: drain,
 		active:  true,
@@ -254,6 +269,7 @@ func (e *AtomicEngine) end(wasCanceled bool, err error) {
 	rs.err = err
 	rs.done = true
 	rs.src = nil
+	e.curBatch = nil
 }
 
 // Result returns the outcome of the run once Step reported done; see
@@ -314,71 +330,10 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 	}
 
 	// Injection attempts, over nodes whose source may still inject.
-	for wi := range e.actBits {
-		for word := e.actBits[wi]; word != 0; word &= word - 1 {
-			b := bits.TrailingZeros64(word)
-			u := int32(wi<<6 + b)
-			if src.Exhausted(u) {
-				e.actBits[wi] &^= 1 << uint(b)
-				continue
-			}
-			if f != nil {
-				if !f.live.NodeAlive(int(u)) {
-					continue
-				}
-				if cycle < f.injNext[u] {
-					if e.obsOn {
-						st.obs.Inc(obs.CInjRetries)
-					}
-					continue
-				}
-			}
-			if !src.Wants(u, cycle) {
-				continue
-			}
-			if win.contains(cycle) {
-				st.attempts++
-			}
-			if e.obsOn {
-				st.obs.Inc(obs.CInjAttempts)
-			}
-			if e.injQ[u].full {
-				if e.obsOn {
-					st.obs.Inc(obs.CInjBackpressure)
-				}
-				if f != nil {
-					f.backoff(u, cycle)
-				}
-				continue
-			}
-			dst := src.Take(u, cycle)
-			if f != nil {
-				f.injFail[u] = 0
-				if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
-					e.nextID[u]++
-					st.injected++
-					if win.contains(cycle) {
-						st.successes++
-					}
-					pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
-					e.dropAtomic(&pkt, cycle, st)
-					continue
-				}
-			}
-			class, work := e.algo.Inject(u, dst)
-			e.nextID[u]++
-			e.injQ[u] = injSlot{
-				pkt: core.Packet{
-					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
-					Class: class, MinFree: 1, Work: work,
-				},
-				full: true,
-			}
-			st.injected++
-			if win.contains(cycle) {
-				st.successes++
-			}
-		}
+	if bs := e.curBatch; bs != nil {
+		e.injectBatchAtomic(bs, cycle, win, st)
+	} else {
+		e.injectScalarAtomic(src, f, cycle, win, st)
 	}
 
 	if prof {
@@ -404,6 +359,7 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 		if sl.pkt.Dst == u {
 			e.deliverAtomic(sl.pkt, cycle, win, st)
 			sl.full = false
+			e.injFull[u>>6] &^= 1 << (uint(u) & 63)
 			continue
 		}
 		qi := e.queueIndex(u, sl.pkt.Class)
@@ -418,6 +374,7 @@ func (e *AtomicEngine) Step() (done bool, err error) {
 				st.obs.Observe(obs.HQueueLen, int64(l))
 			}
 			sl.full = false
+			e.injFull[u>>6] &^= 1 << (uint(u) & 63)
 			st.moves++
 		}
 	}
@@ -743,6 +700,7 @@ func (e *AtomicEngine) purgeNodeAtomic(u int32, cycle int64, st *cycleStats) {
 	if e.injQ[u].full {
 		e.dropAtomic(&e.injQ[u].pkt, cycle, st)
 		e.injQ[u] = injSlot{}
+		e.injFull[u>>6] &^= 1 << (uint(u) & 63)
 	}
 }
 
@@ -873,6 +831,80 @@ func (e *AtomicEngine) deliverAtomic(pkt core.Packet, cycle int64, win runWindow
 		st.measured++
 		if lat > st.latencyMax {
 			st.latencyMax = lat
+		}
+	}
+}
+
+// injectScalarAtomic is the per-node injection phase of Step: one
+// Wants/Take round per active node, interleaved with fault gating. The
+// batched path (injectBatchAtomic) replaces it when the source implements
+// BatchSource and no faults are active.
+func (e *AtomicEngine) injectScalarAtomic(src TrafficSource, f *faultState, cycle int64, win runWindow, st *cycleStats) {
+	for wi := range e.actBits {
+		for word := e.actBits[wi]; word != 0; word &= word - 1 {
+			b := bits.TrailingZeros64(word)
+			u := int32(wi<<6 + b)
+			if src.Exhausted(u) {
+				e.actBits[wi] &^= 1 << uint(b)
+				continue
+			}
+			if f != nil {
+				if !f.live.NodeAlive(int(u)) {
+					continue
+				}
+				if cycle < f.injNext[u] {
+					if e.obsOn {
+						st.obs.Inc(obs.CInjRetries)
+					}
+					continue
+				}
+			}
+			if !src.Wants(u, cycle) {
+				continue
+			}
+			if win.contains(cycle) {
+				st.attempts++
+			}
+			if e.obsOn {
+				st.obs.Inc(obs.CInjAttempts)
+			}
+			if e.injQ[u].full {
+				if e.obsOn {
+					st.obs.Inc(obs.CInjBackpressure)
+				}
+				if f != nil {
+					f.backoff(u, cycle)
+				}
+				continue
+			}
+			dst := src.Take(u, cycle)
+			if f != nil {
+				f.injFail[u] = 0
+				if !f.live.NodeAlive(int(dst)) || (f.livePorts[u] == 0 && dst != u) {
+					e.nextID[u]++
+					st.injected++
+					if win.contains(cycle) {
+						st.successes++
+					}
+					pkt := core.Packet{ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle}
+					e.dropAtomic(&pkt, cycle, st)
+					continue
+				}
+			}
+			class, work := e.algo.Inject(u, dst)
+			e.nextID[u]++
+			e.injQ[u] = injSlot{
+				pkt: core.Packet{
+					ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+					Class: class, MinFree: 1, Work: work,
+				},
+				full: true,
+			}
+			e.injFull[u>>6] |= 1 << (uint(u) & 63)
+			st.injected++
+			if win.contains(cycle) {
+				st.successes++
+			}
 		}
 	}
 }

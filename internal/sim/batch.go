@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// BatchSource is the optional batched extension of TrafficSource. A source
+// that implements it lets the engines replace the per-node Wants/Take
+// interface dispatch of the injection phase with one FillCycle call per
+// worker shard per cycle: the source writes the cycle's injections into a
+// flat buffer and the engine commits them in a tight loop with no interface
+// calls inside. Both engines detect the interface at the start of a run;
+// Config.DisableBatchInject forces the scalar path as a same-binary
+// baseline (mirroring DisablePortMask and DisableRouteTable), and runs with
+// fault injection always use the scalar path.
+//
+// The contract makes the two paths bit-identical, which the determinism
+// tests pin:
+//
+//   - full is the engine's injection-queue occupancy bitmap: bit u (word
+//     u/64, bit u%64) is set while node u's injection queue is occupied, so
+//     an attempt there fails. FillCycle must count such attempts in blocked
+//     without consuming a destination draw — exactly like the scalar path,
+//     where a Wants against a full queue is counted but Take is not called.
+//   - Free nodes that attempt must append to out in ascending node order
+//     and consume per-node generator state exactly as the scalar
+//     Wants-then-Take sequence would.
+//   - [lo, hi) is one worker's shard; lo is 64-aligned and hi is either
+//     64-aligned or the node count. FillCycle must touch only per-node
+//     state of [lo, hi) and only the words of full covering [lo, hi):
+//     other words are concurrently owned by other workers. Any shared
+//     state (e.g. a trace reader) must synchronize internally and behave
+//     identically for every shard decomposition.
+//   - out has capacity for at least hi-lo entries.
+type BatchSource interface {
+	TrafficSource
+	// FillCycle produces the injections of nodes [lo, hi) for cycle. It
+	// returns the number of entries written to out and the count of
+	// attempts that failed against an occupied injection queue.
+	FillCycle(cycle int64, lo, hi int32, full []uint64, out []core.PendingInject) (n, blocked int)
+}
+
+// batchFor returns src as a BatchSource when the engine may use the batched
+// injection path for this run: the source implements it, the config does
+// not disable it, and the run carries no fault state (fault backoff and
+// dead-node gating are interleaved per node in the scalar path).
+func batchFor(src TrafficSource, cfg *Config, faulted bool) BatchSource {
+	if cfg.DisableBatchInject || faulted {
+		return nil
+	}
+	bs, _ := src.(BatchSource)
+	return bs
+}
+
+// injectBatch is the buffered engine's batched injection phase over one
+// shard: one FillCycle call, then a commit loop over the returned entries.
+// It must account attempts, successes and the obs counters exactly like
+// injectNode does per node.
+func (e *Engine) injectBatch(w int, lo, hi int32, bs BatchSource, cycle int64, win runWindow, st *cycleStats) {
+	buf := e.batchBuf[w]
+	n, blocked := bs.FillCycle(cycle, lo, hi, e.injFull, buf)
+	inWin := win.contains(cycle)
+	if inWin {
+		st.attempts += int64(n + blocked)
+	}
+	if e.obsOn {
+		st.obs.Add(obs.CInjAttempts, int64(n+blocked))
+		st.obs.Add(obs.CInjBackpressure, int64(blocked))
+	}
+	for i := range buf[:n] {
+		u, dst := buf[i].Node, buf[i].Dst
+		class, work := e.algo.Inject(u, dst)
+		e.nextID[u]++
+		e.injQ[u] = injSlot{
+			pkt: core.Packet{
+				ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+				Class: class, MinFree: 1, Work: work,
+			},
+			full: true,
+		}
+		e.injFull[u>>6] |= 1 << (uint(u) & 63)
+		e.setLive(u)
+	}
+	st.injected += int64(n)
+	if inWin {
+		st.successes += int64(n)
+	}
+}
+
+// injectBatchAtomic is the atomic engine's batched injection phase: the
+// whole node range is one shard.
+func (e *AtomicEngine) injectBatchAtomic(bs BatchSource, cycle int64, win runWindow, st *cycleStats) {
+	buf := e.batchBuf
+	n, blocked := bs.FillCycle(cycle, 0, int32(e.nodes), e.injFull, buf)
+	inWin := win.contains(cycle)
+	if inWin {
+		st.attempts += int64(n + blocked)
+	}
+	if e.obsOn {
+		st.obs.Add(obs.CInjAttempts, int64(n+blocked))
+		st.obs.Add(obs.CInjBackpressure, int64(blocked))
+	}
+	for i := range buf[:n] {
+		u, dst := buf[i].Node, buf[i].Dst
+		class, work := e.algo.Inject(u, dst)
+		e.nextID[u]++
+		e.injQ[u] = injSlot{
+			pkt: core.Packet{
+				ID: e.nextID[u], Src: u, Dst: dst, InjectedAt: cycle,
+				Class: class, MinFree: 1, Work: work,
+			},
+			full: true,
+		}
+		e.injFull[u>>6] |= 1 << (uint(u) & 63)
+	}
+	st.injected += int64(n)
+	if inWin {
+		st.successes += int64(n)
+	}
+}

@@ -100,6 +100,14 @@ type Engine struct {
 	occSnap []int32 // cycle-start copy of occ; only under RemoteLookahead
 
 	injQ []injSlot // per-node injection queue (size 1)
+	// injFull mirrors injQ[u].full as a bitmap (bit u of word u/64); the
+	// batched injection path hands it to BatchSource.FillCycle so the
+	// source can fail blocked attempts without a per-node engine call. It
+	// is maintained unconditionally (set at injection commit, cleared when
+	// phase (b) drains the slot) — one masked OR per event — so scalar and
+	// batched runs on the same engine never see a stale word. Shards are
+	// 64-aligned, so every word has exactly one writer between barriers.
+	injFull []uint64
 
 	// Output buffers, structure of arrays, indexed by sender:
 	// [(node*ports+port)*bufClasses+bc].
@@ -181,6 +189,12 @@ type Engine struct {
 	curSrc   TrafficSource
 	curWin   runWindow
 	curCycle int64
+	// curBatch is non-nil while the current run uses the batched injection
+	// path (see BatchSource); batchBuf holds one reusable PendingInject
+	// buffer per worker, sized to the node count so any shard fits after a
+	// rebalance. Allocated on the first batched run, then reused.
+	curBatch BatchSource
+	batchBuf [][]core.PendingInject
 
 	// rs is the control state of the stepwise run driver (Start/Step).
 	rs runState
@@ -357,6 +371,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	nWords := (e.nodes + 63) / 64
 	e.liveBits = make([]uint64, nWords)
 	e.injBits = make([]uint64, nWords)
+	e.injFull = make([]uint64, nWords)
 	e.qTotal = make([]int32, e.nodes)
 	e.inCount = make([]int32, e.nodes)
 	e.outCount = make([]int32, e.nodes)
@@ -413,6 +428,9 @@ func (e *Engine) reset() {
 	}
 	for i := range e.injQ {
 		e.injQ[i] = injSlot{}
+	}
+	for i := range e.injFull {
+		e.injFull[i] = 0
 	}
 	for i := range e.outFull {
 		e.outFull[i] = 0
@@ -734,6 +752,13 @@ func (e *Engine) Start(src TrafficSource, plan Plan) {
 func (e *Engine) start(src TrafficSource, win runWindow, stopAt, maxCycles int64, drain bool) {
 	e.reset()
 	e.curSrc, e.curWin = src, win
+	e.curBatch = batchFor(src, &e.cfg, e.flt != nil)
+	if e.curBatch != nil && e.batchBuf == nil {
+		e.batchBuf = make([][]core.PendingInject, e.workers)
+		for i := range e.batchBuf {
+			e.batchBuf[i] = make([]core.PendingInject, e.nodes)
+		}
+	}
 	e.rs = runState{
 		src: src, win: win, stopAt: stopAt, maxCycles: maxCycles, drain: drain,
 		active: true,
@@ -766,6 +791,7 @@ func (e *Engine) end(wasCanceled bool, err error) {
 	rs.inject, rs.phaseA, rs.phaseB, rs.link, rs.fused = nil, nil, nil, nil, nil
 	rs.src = nil
 	e.curSrc = nil
+	e.curBatch = nil
 	if e.pool != nil {
 		e.pool.clear()
 	}
@@ -915,6 +941,7 @@ func (e *Engine) run(ctx context.Context, src TrafficSource, win runWindow, stop
 		// engine's closures, and curSrc must not leak across runs.
 		if !e.rs.done {
 			e.curSrc = nil
+			e.curBatch = nil
 			e.rs.src, e.rs.inject, e.rs.phaseA, e.rs.phaseB, e.rs.link, e.rs.fused = nil, nil, nil, nil, nil, nil
 			if e.pool != nil {
 				e.pool.clear()
@@ -1029,6 +1056,10 @@ func (e *Engine) workerInject(w int) {
 	}
 	st := &e.statsBuf[w]
 	cycle, src, win := e.curCycle, e.curSrc, e.curWin
+	if bs := e.curBatch; bs != nil {
+		e.injectBatch(w, int32(lo), int32(hi), bs, cycle, win, st)
+		return
+	}
 	base := lo >> 6
 	for wi, word := range e.injBits[base : (hi+63)>>6] {
 		for ; word != 0; word &= word - 1 {
@@ -1102,6 +1133,7 @@ func (e *Engine) injectNode(u int32, cycle int64, src TrafficSource, win runWind
 		},
 		full: true,
 	}
+	e.injFull[u>>6] |= 1 << (uint(u) & 63)
 	e.setLive(u)
 	st.injected++
 	if win.contains(cycle) {
@@ -1654,6 +1686,7 @@ func (e *Engine) nodePhaseB(u int32, cycle int64, win runWindow, st *cycleStats,
 					st.maxQueue = l
 				}
 				sl.full = false
+				e.injFull[u>>6] &^= 1 << (uint(u) & 63)
 				st.moves++
 			}
 			continue

@@ -192,6 +192,7 @@ func (e *Engine) purgeNode(u int32, cycle int64, st *cycleStats) {
 	if e.injQ[u].full {
 		e.faultDropPacket(&e.injQ[u].pkt, cycle, st)
 		e.injQ[u] = injSlot{}
+		e.injFull[u>>6] &^= 1 << (uint(u) & 63)
 	}
 	base, deg := e.inBase[u], e.inDeg[u]
 	for si := base; si < base+deg; si++ {

@@ -203,6 +203,15 @@ type Config struct {
 	// the swap happens once at engine construction. Algorithms without a
 	// compiled table ignore it.
 	DisableRouteTable bool
+	// DisableBatchInject forces the per-node scalar injection path
+	// (Wants/Take per node per cycle) even when the traffic source
+	// implements BatchSource. Metrics are bit-identical either way (the
+	// batch determinism tests pin this); the switch mirrors DisablePortMask
+	// and DisableRouteTable: it exists for those tests and for same-binary
+	// before/after benchmarking of the batched injection fast path, and
+	// costs nothing per cycle — the engines simply skip the interface
+	// assertion at the start of the run.
+	DisableBatchInject bool
 	// RemoteLookahead makes a packet commit to an output buffer only when
 	// the target queue currently has room for every packet already headed
 	// its way plus this one (occupancy + inbound < capacity). This realizes

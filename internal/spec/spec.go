@@ -19,7 +19,7 @@ import (
 
 // UnknownNameError reports a spec whose family name is not recognized.
 type UnknownNameError struct {
-	Kind  string   // what was being named: "algorithm", "pattern"
+	Kind  string   // what was being named: "algorithm", "pattern", "topology", "traffic"
 	Name  string   // the unrecognized name
 	Valid []string // the accepted names or spec templates
 }

@@ -1,0 +1,193 @@
+package spec
+
+import (
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// TrafficNames lists the spec templates accepted by ParseTraffic.
+func TrafficNames() []string {
+	return []string{
+		"bernoulli",
+		"mmpp:on=<p>,off=<p>,p10=<p>,p01=<p>",
+		"onoff:hi=<p>,lo=<p>,period=<cycles>,on=<cycles>",
+		"trace:<path>",
+	}
+}
+
+// TrafficSpec is a parsed traffic-model spec. Parsing (ParseTraffic) is
+// side-effect free — a trace path's existence is not checked until Build
+// opens it — so specs can be validated, fingerprinted and shipped to a
+// daemon without touching the filesystem.
+type TrafficSpec struct {
+	Kind string // "bernoulli", "mmpp", "onoff", "trace"
+
+	// mmpp: injection probability per state and transition probabilities.
+	// On defaults to the run's lambda when not given.
+	On, Off, P10, P01 float64
+	onSet             bool
+
+	// onoff: square-wave rates and cycle counts. Hi defaults to the run's
+	// lambda when not given.
+	Hi, Lo           float64
+	Period, OnCycles int64
+	hiSet, onCycSet  bool
+
+	// trace: path of the JSONL trace to replay.
+	Path string
+}
+
+// ParseTraffic parses a traffic-model spec: "bernoulli" (the default, also
+// chosen by the empty spec), "mmpp:on=0.9,off=0.05,p10=0.1,p01=0.1",
+// "onoff:hi=0.9,lo=0.1,period=64,on=32", or "trace:<path>". Key=value
+// arguments may appear in any order and every one has a default; rate
+// parameters default to the run's lambda where noted on TrafficSpec.
+func ParseTraffic(tspec string) (*TrafficSpec, error) {
+	name, arg, _ := strings.Cut(tspec, ":")
+	ts := &TrafficSpec{Kind: name}
+	prob := func(k, v string) (float64, error) {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(p >= 0 && p <= 1) { // rejects NaN too
+			return 0, badSpec(tspec, "bad probability %s=%q", k, v)
+		}
+		return p, nil
+	}
+	kvs := func(apply func(k, v string) error) error {
+		if arg == "" {
+			return nil
+		}
+		for _, kv := range strings.Split(arg, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return badSpec(tspec, "argument %q is not key=value", kv)
+			}
+			if err := apply(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "", "bernoulli":
+		ts.Kind = "bernoulli"
+		if arg != "" {
+			return nil, badSpec(tspec, "bernoulli takes no arguments (rate comes from lambda)")
+		}
+		return ts, nil
+	case "mmpp":
+		ts.P10, ts.P01 = 0.1, 0.1
+		err := kvs(func(k, v string) error {
+			p, err := prob(k, v)
+			if err != nil {
+				return err
+			}
+			switch k {
+			case "on":
+				ts.On, ts.onSet = p, true
+			case "off":
+				ts.Off = p
+			case "p10":
+				ts.P10 = p
+			case "p01":
+				ts.P01 = p
+			default:
+				return badSpec(tspec, "unknown mmpp argument %q", k)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return ts, nil
+	case "onoff":
+		ts.Period = 64
+		err := kvs(func(k, v string) error {
+			switch k {
+			case "hi":
+				p, err := prob(k, v)
+				if err != nil {
+					return err
+				}
+				ts.Hi, ts.hiSet = p, true
+			case "lo":
+				p, err := prob(k, v)
+				if err != nil {
+					return err
+				}
+				ts.Lo = p
+			case "period", "on":
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil || n < 0 {
+					return badSpec(tspec, "bad cycle count %s=%q", k, v)
+				}
+				if k == "period" {
+					ts.Period = n
+				} else {
+					ts.OnCycles, ts.onCycSet = n, true
+				}
+			default:
+				return badSpec(tspec, "unknown onoff argument %q", k)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ts.Period <= 0 {
+			return nil, badSpec(tspec, "period must be positive")
+		}
+		if !ts.onCycSet {
+			ts.OnCycles = ts.Period / 2
+		}
+		if ts.OnCycles > ts.Period {
+			return nil, badSpec(tspec, "on=%d exceeds period=%d", ts.OnCycles, ts.Period)
+		}
+		return ts, nil
+	case "trace":
+		if arg == "" {
+			return nil, badSpec(tspec, "trace needs a path, e.g. %q", "trace:run.jsonl")
+		}
+		ts.Path = arg
+		return ts, nil
+	}
+	return nil, &UnknownNameError{Kind: "traffic", Name: name, Valid: TrafficNames()}
+}
+
+// Dynamic reports whether the model generates open-loop dynamic traffic
+// (and therefore requires a dynamic injection plan). Trace replay carries
+// its own cycle stamps and works under both plan kinds.
+func (ts *TrafficSpec) Dynamic() bool { return ts.Kind != "trace" }
+
+// Build constructs the traffic source. This is the side-effectful half of
+// the spec: a trace path is opened here, at run time. The pattern and seed
+// feed destination draws for the generative models; lambda fills the rate
+// parameters documented as defaulting to it.
+func (ts *TrafficSpec) Build(pat traffic.Pattern, nodes int, lambda float64, seed int64) (sim.TrafficSource, error) {
+	switch ts.Kind {
+	case "bernoulli":
+		return traffic.NewBernoulliSource(pat, nodes, lambda, seed), nil
+	case "mmpp":
+		on := ts.On
+		if !ts.onSet {
+			on = lambda
+		}
+		return traffic.NewMMPP(pat, nodes, on, ts.Off, ts.P10, ts.P01, seed), nil
+	case "onoff":
+		hi := ts.Hi
+		if !ts.hiSet {
+			hi = lambda
+		}
+		return traffic.NewOnOff(pat, nodes, hi, ts.Lo, ts.Period, ts.OnCycles, seed), nil
+	case "trace":
+		f, err := os.Open(ts.Path)
+		if err != nil {
+			return nil, err
+		}
+		return traffic.NewTraceSource(f, nodes), nil
+	}
+	return nil, &UnknownNameError{Kind: "traffic", Name: ts.Kind, Valid: TrafficNames()}
+}

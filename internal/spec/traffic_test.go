@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestParseTraffic(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+		kind string
+	}{
+		{"", true, "bernoulli"},
+		{"bernoulli", true, "bernoulli"},
+		{"bernoulli:0.5", false, ""},
+		{"mmpp", true, "mmpp"},
+		{"mmpp:on=0.9,off=0.05,p10=0.2,p01=0.3", true, "mmpp"},
+		{"mmpp:on=1.5", false, ""},
+		{"mmpp:bogus=1", false, ""},
+		{"mmpp:on0.9", false, ""},
+		{"onoff", true, "onoff"},
+		{"onoff:hi=0.9,lo=0.1,period=32,on=8", true, "onoff"},
+		{"onoff:period=0", false, ""},
+		{"onoff:period=16,on=20", false, ""},
+		{"onoff:hi=2", false, ""},
+		{"trace:run.jsonl", true, "trace"},
+		{"trace:", false, ""},
+		{"trace", false, ""},
+	}
+	for _, tc := range cases {
+		ts, err := ParseTraffic(tc.spec)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("ParseTraffic(%q): %v", tc.spec, err)
+			} else if ts.Kind != tc.kind {
+				t.Errorf("ParseTraffic(%q).Kind = %q, want %q", tc.spec, ts.Kind, tc.kind)
+			}
+		} else if err == nil {
+			t.Errorf("ParseTraffic(%q) accepted, want error", tc.spec)
+		}
+	}
+}
+
+func TestParseTrafficDefaults(t *testing.T) {
+	ts, err := ParseTraffic("mmpp:off=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.P10 != 0.1 || ts.P01 != 0.1 || ts.onSet {
+		t.Errorf("mmpp defaults wrong: %+v", ts)
+	}
+	ts, err = ParseTraffic("onoff:period=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.OnCycles != 50 {
+		t.Errorf("onoff on default = %d, want period/2 = 50", ts.OnCycles)
+	}
+}
+
+func TestParseTrafficUnknownName(t *testing.T) {
+	_, err := ParseTraffic("poisson")
+	var ue *UnknownNameError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnknownNameError, got %v", err)
+	}
+	if ue.Kind != "traffic" {
+		t.Errorf("Kind = %q, want \"traffic\"", ue.Kind)
+	}
+}
+
+func TestTrafficBuild(t *testing.T) {
+	pat := traffic.Random{Nodes: 64}
+	for _, spec := range []string{"bernoulli", "mmpp", "onoff:hi=0.8"} {
+		ts, err := ParseTraffic(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := ts.Build(pat, 64, 0.5, 7)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", spec, err)
+		}
+		if src == nil {
+			t.Fatalf("Build(%q) returned nil source", spec)
+		}
+	}
+
+	// Trace build opens the file at build time, not parse time.
+	ts, err := ParseTraffic("trace:" + filepath.Join(t.TempDir(), "missing.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.Build(pat, 64, 0.5, 7); !os.IsNotExist(err) {
+		t.Errorf("Build of missing trace: %v, want not-exist", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	if err := os.WriteFile(path, []byte("{\"c\":0,\"s\":1,\"d\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts, err = ParseTraffic("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := ts.Build(pat, 64, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.Wants(1, 0) {
+		t.Error("trace source should want node 1 at cycle 0")
+	}
+}

@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// MMPPSource is a two-state Markov-modulated Bernoulli process per node: a
+// node in the on state attempts with probability on, in the off state with
+// probability off, and flips state with probability p10 (on->off) or p01
+// (off->on) each cycle. It models bursty traffic whose time-average rate
+// matches a plain Bernoulli source of rate MeanRate, so latency under
+// burstiness can be compared at equal offered load.
+//
+// Every node consumes exactly two generator draws per cycle — one transition
+// coin, one attempt coin — on both the scalar and the batched path, so the
+// two stay bit-identical. The engines call Wants exactly once per node per
+// cycle, which is what advances the chain.
+type MMPPSource struct {
+	pattern  Pattern
+	on, off  float64
+	p10, p01 float64
+	rngs     []xrand.RNG
+	state    []bool // true = on
+}
+
+// NewMMPP builds the source. Each node's initial state is drawn once, at
+// construction, from the chain's stationary distribution, so bursts are not
+// synchronized across nodes at cycle zero.
+func NewMMPP(pattern Pattern, nodes int, on, off, p10, p01 float64, seed int64) *MMPPSource {
+	s := &MMPPSource{
+		pattern: pattern,
+		on:      on, off: off,
+		p10: p10, p01: p01,
+		rngs:  make([]xrand.RNG, nodes),
+		state: make([]bool, nodes),
+	}
+	pOn := 1.0
+	if p10+p01 > 0 {
+		pOn = p01 / (p10 + p01)
+	}
+	for u := range s.rngs {
+		s.rngs[u] = xrand.New(seed, int32(u))
+		s.state[u] = s.rngs[u].Coin(pOn)
+	}
+	return s
+}
+
+// MeanRate returns the stationary injection rate, for equal-offered-load
+// comparisons against a Bernoulli source.
+func (s *MMPPSource) MeanRate() float64 {
+	pOn := 1.0
+	if s.p10+s.p01 > 0 {
+		pOn = s.p01 / (s.p10 + s.p01)
+	}
+	return pOn*s.on + (1-pOn)*s.off
+}
+
+// step advances node u by one cycle: transition coin, then attempt coin.
+func (s *MMPPSource) step(u int32) bool {
+	r := &s.rngs[u]
+	if s.state[u] {
+		if r.Coin(s.p10) {
+			s.state[u] = false
+		}
+	} else {
+		if r.Coin(s.p01) {
+			s.state[u] = true
+		}
+	}
+	p := s.off
+	if s.state[u] {
+		p = s.on
+	}
+	return r.Coin(p)
+}
+
+// Wants advances the node's chain for this cycle and reports the attempt.
+func (s *MMPPSource) Wants(node int32, _ int64) bool { return s.step(node) }
+
+// Take draws the destination of the packet being injected.
+func (s *MMPPSource) Take(node int32, _ int64) int32 {
+	return s.pattern.Dest(node, &s.rngs[node])
+}
+
+// Exhausted always reports false: dynamic sources never stop.
+func (s *MMPPSource) Exhausted(int32) bool { return false }
+
+// FillCycle implements sim.BatchSource; see the package comment in batch.go.
+func (s *MMPPSource) FillCycle(_ int64, lo, hi int32, full []uint64, out []core.PendingInject) (n, blocked int) {
+	for u := lo; u < hi; u++ {
+		if !s.step(u) {
+			continue
+		}
+		if full[u>>6]&(1<<(uint(u)&63)) != 0 {
+			blocked++
+			continue
+		}
+		out[n] = core.PendingInject{Node: u, Dst: s.pattern.Dest(u, &s.rngs[u])}
+		n++
+	}
+	return n, blocked
+}
+
+// VarLambdaSource is a Bernoulli source whose rate is a deterministic
+// function of the cycle, for time-varying load (ramps, square waves). Every
+// node consumes exactly one coin per cycle regardless of the current rate,
+// so runs stay aligned across rate schedules.
+type VarLambdaSource struct {
+	pattern  Pattern
+	lambdaAt func(cycle int64) float64
+	mean     float64
+	rngs     []xrand.RNG
+}
+
+// NewVarLambda builds a source with rate lambdaAt(cycle); mean is the
+// schedule's time-average rate, reported by MeanRate.
+func NewVarLambda(pattern Pattern, nodes int, mean float64, lambdaAt func(int64) float64, seed int64) *VarLambdaSource {
+	s := &VarLambdaSource{
+		pattern:  pattern,
+		lambdaAt: lambdaAt,
+		mean:     mean,
+		rngs:     make([]xrand.RNG, nodes),
+	}
+	for u := range s.rngs {
+		s.rngs[u] = xrand.New(seed, int32(u))
+	}
+	return s
+}
+
+// NewOnOff builds a square-wave source: rate hi for the first onCycles of
+// every period cycles, rate lo for the rest.
+func NewOnOff(pattern Pattern, nodes int, hi, lo float64, period, onCycles int64, seed int64) *VarLambdaSource {
+	mean := hi
+	if period > 0 {
+		mean = (float64(onCycles)*hi + float64(period-onCycles)*lo) / float64(period)
+	}
+	return NewVarLambda(pattern, nodes, mean, func(cycle int64) float64 {
+		if cycle%period < onCycles {
+			return hi
+		}
+		return lo
+	}, seed)
+}
+
+// MeanRate returns the schedule's time-average injection rate.
+func (s *VarLambdaSource) MeanRate() float64 { return s.mean }
+
+// Wants flips the node's coin at this cycle's rate.
+func (s *VarLambdaSource) Wants(node int32, cycle int64) bool {
+	return s.rngs[node].Coin(s.lambdaAt(cycle))
+}
+
+// Take draws the destination of the packet being injected.
+func (s *VarLambdaSource) Take(node int32, _ int64) int32 {
+	return s.pattern.Dest(node, &s.rngs[node])
+}
+
+// Exhausted always reports false: dynamic sources never stop.
+func (s *VarLambdaSource) Exhausted(int32) bool { return false }
+
+// FillCycle implements sim.BatchSource; the cycle's rate is computed once
+// for the shard, then each node consumes its one coin.
+func (s *VarLambdaSource) FillCycle(cycle int64, lo, hi int32, full []uint64, out []core.PendingInject) (n, blocked int) {
+	lam := s.lambdaAt(cycle)
+	for u := lo; u < hi; u++ {
+		if !s.rngs[u].Coin(lam) {
+			continue
+		}
+		if full[u>>6]&(1<<(uint(u)&63)) != 0 {
+			blocked++
+			continue
+		}
+		out[n] = core.PendingInject{Node: u, Dst: s.pattern.Dest(u, &s.rngs[u])}
+		n++
+	}
+	return n, blocked
+}

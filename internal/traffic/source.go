@@ -1,8 +1,11 @@
 package traffic
 
 import (
+	"io"
+	"strconv"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/xrand"
 )
 
@@ -100,6 +103,15 @@ func (s *BernoulliSource) Exhausted(int32) bool { return false }
 // would accumulate one entry per injection for the whole run. Set Cap to
 // bound the memory: the record then keeps only the most recent Cap entries
 // (a ring), and TotalTaken still counts every injection.
+//
+// Set W to also stream the record as trace JSONL (see trace.go for the
+// schema) that a TraceSource can replay. Writes are buffered internally;
+// call Flush when the run ends. On the batched injection path (the wrapper
+// implements sim.BatchSource, delegating to the inner source or emulating
+// Wants/Take per node) blocked-attempt counts are recorded too, so a replay
+// reproduces Attempts exactly; the scalar path records successes only,
+// because a count of blocked nodes cannot be attributed under per-node
+// Wants/Take without reordering the stream.
 type RecordingSource struct {
 	Inner interface {
 		Wants(node int32, cycle int64) bool
@@ -109,11 +121,16 @@ type RecordingSource struct {
 	// Cap bounds the record to the most recent Cap entries (0 = unbounded).
 	// Set it before the first Take; changing it mid-run is not supported.
 	Cap int
+	// W, when non-nil, receives the record as trace JSONL. Set it before
+	// the run starts.
+	W io.Writer
 
 	mu    sync.Mutex
 	total int64
 	next  int // ring write position, used once len(Taken) == Cap
 	Taken []TakenPacket
+	wbuf  []byte
+	werr  error
 }
 
 // TakenPacket is one recorded injection.
@@ -127,6 +144,14 @@ func (r *RecordingSource) Wants(node int32, cycle int64) bool { return r.Inner.W
 func (r *RecordingSource) Take(node int32, cycle int64) int32 {
 	dst := r.Inner.Take(node, cycle)
 	r.mu.Lock()
+	r.record(node, dst, cycle)
+	r.mu.Unlock()
+	return dst
+}
+
+// record appends one injection to the ring and, when streaming, to the
+// write buffer. Caller holds mu.
+func (r *RecordingSource) record(node, dst int32, cycle int64) {
 	r.total++
 	tp := TakenPacket{Src: node, Dst: dst, Cycle: cycle}
 	if r.Cap > 0 && len(r.Taken) >= r.Cap {
@@ -138,8 +163,80 @@ func (r *RecordingSource) Take(node int32, cycle int64) int32 {
 	} else {
 		r.Taken = append(r.Taken, tp)
 	}
+	if r.W != nil {
+		r.wbuf = append(r.wbuf, `{"c":`...)
+		r.wbuf = strconv.AppendInt(r.wbuf, cycle, 10)
+		r.wbuf = append(r.wbuf, `,"s":`...)
+		r.wbuf = strconv.AppendInt(r.wbuf, int64(node), 10)
+		r.wbuf = append(r.wbuf, `,"d":`...)
+		r.wbuf = strconv.AppendInt(r.wbuf, int64(dst), 10)
+		r.wbuf = append(r.wbuf, '}', '\n')
+		r.maybeFlush()
+	}
+}
+
+// maybeFlush writes the buffer out once it is large enough that the write
+// amortizes. Caller holds mu.
+func (r *RecordingSource) maybeFlush() {
+	if len(r.wbuf) < 1<<15 {
+		return
+	}
+	r.flushLocked()
+}
+
+func (r *RecordingSource) flushLocked() {
+	if len(r.wbuf) == 0 || r.W == nil {
+		return
+	}
+	if _, err := r.W.Write(r.wbuf); err != nil && r.werr == nil {
+		r.werr = err
+	}
+	r.wbuf = r.wbuf[:0]
+}
+
+// Flush writes out any buffered trace records and returns the first write
+// error, if any. Call it when the run ends.
+func (r *RecordingSource) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flushLocked()
+	return r.werr
+}
+
+// FillCycle implements sim.BatchSource: the wrapped source's cycle is
+// produced (delegated when the inner source is itself a BatchSource,
+// emulated per node otherwise) and recorded, including the shard's blocked
+// count so a replay reproduces Attempts exactly.
+func (r *RecordingSource) FillCycle(cycle int64, lo, hi int32, full []uint64, out []core.PendingInject) (n, blocked int) {
+	if bs, ok := r.Inner.(batchFiller); ok {
+		n, blocked = bs.FillCycle(cycle, lo, hi, full, out)
+	} else {
+		for u := lo; u < hi; u++ {
+			if !r.Inner.Wants(u, cycle) {
+				continue
+			}
+			if full[u>>6]&(1<<(uint(u)&63)) != 0 {
+				blocked++
+				continue
+			}
+			out[n] = core.PendingInject{Node: u, Dst: r.Inner.Take(u, cycle)}
+			n++
+		}
+	}
+	r.mu.Lock()
+	for i := range out[:n] {
+		r.record(out[i].Node, out[i].Dst, cycle)
+	}
+	if blocked > 0 && r.W != nil {
+		r.wbuf = append(r.wbuf, `{"c":`...)
+		r.wbuf = strconv.AppendInt(r.wbuf, cycle, 10)
+		r.wbuf = append(r.wbuf, `,"b":`...)
+		r.wbuf = strconv.AppendInt(r.wbuf, int64(blocked), 10)
+		r.wbuf = append(r.wbuf, '}', '\n')
+		r.maybeFlush()
+	}
 	r.mu.Unlock()
-	return dst
+	return n, blocked
 }
 
 func (r *RecordingSource) Exhausted(node int32) bool { return r.Inner.Exhausted(node) }
